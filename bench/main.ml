@@ -1,0 +1,43 @@
+(* Experiment harness entry point.
+
+   With no arguments: run every experiment (each table and figure of the
+   paper) and the bechamel micro-benchmarks.  With --experiment <id>:
+   run one of table1 | sec2 | fig13 | fig14 | fig15 | fig18 | ranks |
+   requests | ablation | micro. *)
+
+let experiments =
+  [
+    ("table1", Experiments.table1);
+    ("sec2", Experiments.sec2);
+    ("fig13", Experiments.fig13);
+    ("fig14", Experiments.fig14);
+    ("fig15", Experiments.fig15);
+    ("fig18", Experiments.fig18);
+    ("ranks", Experiments.ranks);
+    ("requests", Experiments.requests);
+    ("ablation", Experiments.ablation);
+    ("extra", Experiments.extra);
+    ("micro", Micro.run);
+  ]
+
+let usage () =
+  Printf.printf "usage: main.exe [--experiment <id>]\n  ids: %s | all\n"
+    (String.concat " | " (List.map fst experiments));
+  exit 1
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | [ _ ] ->
+      Printf.printf
+        "SilkRoute experiment harness — reproducing 'Efficient Evaluation of\n\
+         XML Middle-ware Queries' (SIGMOD 2001). Simulated times are\n\
+         deterministic (engine work units / %.0f per ms); see EXPERIMENTS.md.\n"
+        Bench_common.work_per_ms;
+      Experiments.all ();
+      Micro.run ()
+  | [ _; "--experiment"; id ] | [ _; id ] -> (
+      match (if id = "all" then Some Experiments.all else List.assoc_opt id experiments) with
+      | Some f -> f ()
+      | None -> usage ())
+  | _ -> usage ()

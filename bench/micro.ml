@@ -1,0 +1,87 @@
+(* Bechamel micro-benchmarks: one Test.make per reproduced table/figure,
+   timing the code path that regenerates it (at reduced input sizes so
+   the suite stays quick). *)
+
+module R = Relational
+module Sk = Silkroute
+open Bechamel
+open Toolkit
+
+let db = lazy (Tpch.Gen.generate (Tpch.Gen.config 0.3))
+let prepared = lazy (Sk.Middleware.prepare_text (Lazy.force db) Sk.Queries.query1_text)
+
+let t_table1 =
+  (* Table 1: database generation *)
+  Test.make ~name:"table1:tpch-generate"
+    (Staged.stage (fun () -> ignore (Tpch.Gen.generate (Tpch.Gen.config 0.1))))
+
+let t_sec2 =
+  (* Sec. 2 table: one unified execution *)
+  Test.make ~name:"sec2:unified-plan"
+    (Staged.stage (fun () ->
+         let p = Lazy.force prepared in
+         ignore (Sk.Middleware.execute p (Sk.Partition.unified p.Sk.Middleware.tree))))
+
+let t_fig13 =
+  (* Fig. 13: per-plan pipeline = SQL generation + execution + tagging *)
+  Test.make ~name:"fig13:plan-pipeline"
+    (Staged.stage (fun () ->
+         let p = Lazy.force prepared in
+         let e = Sk.Middleware.execute p (Sk.Partition.of_mask p.Sk.Middleware.tree 37) in
+         ignore (Sk.Middleware.xml_string_of p e)))
+
+let t_fig14 =
+  (* Fig. 14: the reduced variant of the same pipeline *)
+  Test.make ~name:"fig14:reduced-pipeline"
+    (Staged.stage (fun () ->
+         let p = Lazy.force prepared in
+         ignore (Sk.Middleware.execute ~reduce:true p
+                   (Sk.Partition.of_mask p.Sk.Middleware.tree 37))))
+
+let t_fig15 =
+  (* Fig. 15: one greedy planning run (cost estimation only) *)
+  Test.make ~name:"fig15:genPlan"
+    (Staged.stage (fun () ->
+         let p = Lazy.force prepared in
+         let oracle = R.Cost.oracle (Lazy.force db) in
+         ignore
+           (Sk.Planner.gen_plan (Lazy.force db) oracle p.Sk.Middleware.tree
+              p.Sk.Middleware.labels Sk.Planner.default_params)))
+
+let t_fig18 =
+  (* Fig. 18: view-tree construction + labeling, the planner's input *)
+  Test.make ~name:"fig18:prepare-view"
+    (Staged.stage (fun () ->
+         ignore (Sk.Middleware.prepare_text (Lazy.force db) Sk.Queries.query2_text)))
+
+let all_tests =
+  Test.make_grouped ~name:"silkroute" ~fmt:"%s/%s"
+    [ t_table1; t_sec2; t_fig13; t_fig14; t_fig15; t_fig18 ]
+
+let run () =
+  Printf.printf "\nBechamel micro-benchmarks (one per reproduced artifact)\n";
+  Printf.printf "%s\n" (String.make 56 '=');
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      if measure = Measure.label Instance.monotonic_clock then
+        let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+        List.iter
+          (fun (name, ols) ->
+            match Analyze.OLS.estimates ols with
+            | Some (est :: _) ->
+                Printf.printf "%-32s %12.1f ns/run\n" name est
+            | _ -> Printf.printf "%-32s %12s\n" name "n/a")
+          (List.sort compare rows))
+    merged

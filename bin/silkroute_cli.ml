@@ -1,0 +1,193 @@
+(* silkroute — command-line driver.
+
+   Materializes an XML view of a generated TPC-H database (or runs a
+   built-in paper query) under a chosen evaluation strategy, printing
+   either the document or diagnostics.
+
+     silkroute run --query q1 --scale 0.5 --strategy greedy
+     silkroute run --view my_view.rxl --strategy edges:37 --no-reduce
+     silkroute explain --query q2
+     silkroute plan --query q1 --scale 1.0 *)
+
+module R = Relational
+module S = Silkroute
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_view query view_file =
+  match (query, view_file) with
+  | _, Some path -> read_file path
+  | Some "q1", None | Some "query1", None -> S.Queries.query1_text
+  | Some "q2", None | Some "query2", None -> S.Queries.query2_text
+  | Some "fragment", None -> S.Queries.fragment_text
+  | Some other, None -> invalid_arg ("unknown built-in query: " ^ other)
+  | None, None -> S.Queries.query1_text
+
+let query_arg =
+  let doc = "Built-in view: q1, q2 or fragment (paper Figs. 3/12/4)." in
+  Arg.(value & opt (some string) None & info [ "query"; "q" ] ~docv:"NAME" ~doc)
+
+let view_arg =
+  let doc = "Path to an RXL view file (overrides --query)." in
+  Arg.(value & opt (some file) None & info [ "view" ] ~docv:"FILE" ~doc)
+
+let scale_arg =
+  let doc = "TPC-H scale factor for the generated database." in
+  Arg.(value & opt float 0.5 & info [ "scale" ] ~docv:"SF" ~doc)
+
+let schema_arg =
+  let doc =
+    "Source-description file (tables, keys, foreign keys, inclusions);      replaces the generated TPC-H database."
+  in
+  Arg.(value & opt (some file) None & info [ "schema" ] ~docv:"FILE" ~doc)
+
+let data_arg =
+  let doc = "Directory of <Table>.csv files to load (requires --schema)." in
+  Arg.(value & opt (some dir) None & info [ "data" ] ~docv:"DIR" ~doc)
+
+let seed_arg =
+  let doc = "Generator seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let strategy_arg =
+  let doc =
+    "Evaluation strategy: unified, partitioned, greedy, or edges:MASK \
+     (an explicit bitmask over view-tree edges)."
+  in
+  Arg.(value & opt string "greedy" & info [ "strategy"; "s" ] ~docv:"STRAT" ~doc)
+
+let no_reduce_arg =
+  let doc = "Disable view-tree reduction." in
+  Arg.(value & flag & info [ "no-reduce" ] ~doc)
+
+let pretty_arg =
+  let doc = "Indent the XML output." in
+  Arg.(value & flag & info [ "pretty" ] ~doc)
+
+let verbose_arg =
+  let doc = "Log middleware activity (plans, streams) to stderr." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ~dst:Format.err_formatter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let parse_strategy s =
+  match String.lowercase_ascii s with
+  | "unified" -> S.Middleware.Unified
+  | "partitioned" | "fully-partitioned" -> S.Middleware.Fully_partitioned
+  | "greedy" -> S.Middleware.Greedy S.Planner.default_params
+  | s when String.length s > 6 && String.sub s 0 6 = "edges:" ->
+      S.Middleware.Edges (int_of_string (String.sub s 6 (String.length s - 6)))
+  | s -> invalid_arg ("unknown strategy: " ^ s)
+
+let setup query view_file scale seed schema data =
+  let text = load_view query view_file in
+  let db =
+    match schema with
+    | None ->
+        if data <> None then
+          invalid_arg "--data requires --schema";
+        Tpch.Gen.generate (Tpch.Gen.config ~seed:(Int64.of_int seed) scale)
+    | Some schema_file ->
+        let db = R.Source_desc.load_database (read_file schema_file) in
+        (match data with
+        | None -> ()
+        | Some dir ->
+            List.iter
+              (fun table ->
+                let path = Filename.concat dir (table ^ ".csv") in
+                if Sys.file_exists path then begin
+                  let n = R.Csv.load db table (read_file path) in
+                  Printf.eprintf "[loaded %d rows into %s]\n" n table
+                end)
+              (R.Database.table_names db);
+            match R.Database.check_integrity db with
+            | [] -> ()
+            | violations ->
+                Printf.eprintf "[warning: %d integrity violations, e.g. %s]\n"
+                  (List.length violations) (List.hd violations));
+        db
+  in
+  (db, S.Middleware.prepare_text db text)
+
+let run_cmd query view_file scale seed schema data strategy no_reduce pretty
+    verbose =
+  setup_logs verbose;
+  let db, p = setup query view_file scale seed schema data in
+  ignore db;
+  let plan = S.Middleware.partition_of p (parse_strategy strategy) in
+  let e = S.Middleware.execute ~reduce:(not no_reduce) p plan in
+  if pretty then
+    print_string (Xmlkit.Serialize.to_pretty_string (S.Middleware.document_of p e))
+  else print_endline (S.Middleware.xml_string_of p e);
+  Printf.eprintf "[%d stream(s), %d tuples, %d work units, %.1f ms transfer]\n"
+    (List.length e.S.Middleware.streams)
+    e.S.Middleware.tuples e.S.Middleware.work e.S.Middleware.transfer_ms
+
+let explain_cmd query view_file scale seed schema data strategy no_reduce =
+  let db, p = setup query view_file scale seed schema data in
+  Printf.printf "view tree:\n%s\n" (S.View_tree.to_string p.S.Middleware.tree);
+  Printf.printf "edge labels:\n%s\n\n"
+    (S.Label.to_string p.S.Middleware.tree p.S.Middleware.labels);
+  let plan = S.Middleware.partition_of p (parse_strategy strategy) in
+  Printf.printf "plan: %s (%d streams)\n\n" (S.Partition.to_string plan)
+    (S.Partition.stream_count plan);
+  let opts =
+    { S.Sql_gen.style = S.Sql_gen.Outer_join;
+      labels = (if no_reduce then None else Some p.S.Middleware.labels) }
+  in
+  List.iteri
+    (fun i (s : S.Sql_gen.stream) ->
+      Printf.printf "-- SQL query %d:\n%s\n\n" (i + 1)
+        (R.Sql_print.to_pretty_string s.S.Sql_gen.query))
+    (S.Sql_gen.streams db p.S.Middleware.tree plan opts)
+
+let plan_cmd query view_file scale seed schema data no_reduce =
+  let db, p = setup query view_file scale seed schema data in
+  let oracle = R.Cost.oracle db in
+  let r =
+    S.Planner.gen_plan ~reduce:(not no_reduce) db oracle p.S.Middleware.tree
+      p.S.Middleware.labels S.Planner.default_params
+  in
+  Printf.printf "%s\n" (S.Planner.to_string p.S.Middleware.tree r);
+  Printf.printf "plan family: %d plans\n"
+    (List.length (S.Planner.plans_of p.S.Middleware.tree r));
+  let best = S.Planner.best_plan p.S.Middleware.tree r in
+  Printf.printf "best plan: %s (%d streams)\n" (S.Partition.to_string best)
+    (S.Partition.stream_count best)
+
+let run_t =
+  Term.(
+    const run_cmd $ query_arg $ view_arg $ scale_arg $ seed_arg $ schema_arg
+    $ data_arg $ strategy_arg $ no_reduce_arg $ pretty_arg $ verbose_arg)
+
+let explain_t =
+  Term.(
+    const explain_cmd $ query_arg $ view_arg $ scale_arg $ seed_arg
+    $ schema_arg $ data_arg $ strategy_arg $ no_reduce_arg)
+
+let plan_t =
+  Term.(
+    const plan_cmd $ query_arg $ view_arg $ scale_arg $ seed_arg $ schema_arg
+    $ data_arg $ no_reduce_arg)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Materialize the XML view.") run_t;
+    Cmd.v (Cmd.info "explain" ~doc:"Show the view tree, labels, plan and SQL.") explain_t;
+    Cmd.v (Cmd.info "plan" ~doc:"Run the greedy plan-generation algorithm.") plan_t;
+  ]
+
+let () =
+  let info =
+    Cmd.info "silkroute" ~version:"1.0"
+      ~doc:"SilkRoute: efficient evaluation of XML middle-ware queries"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,233 @@
+(* Conjunctive-query containment and the C2 inclusion test.
+
+   Containment of rule-defined queries is the classic homomorphism check
+   (bodies here are small, so backtracking search is fine).  The C2 test
+   of Sec. 3.5 — "every parent tuple has at least one child tuple" — is
+   decided conservatively by chasing the child's extra atoms with NOT
+   NULL foreign keys and declared inclusion dependencies.  The paper
+   notes the general problem is undecidable and prescribes exactly this
+   kind of restricted, sound-but-incomplete check. *)
+
+module R = Relational
+
+(* --- homomorphisms --------------------------------------------------- *)
+
+type mapping = (string * Rule.term) list
+
+let map_term (m : mapping) (t : Rule.term) : Rule.term =
+  match t with
+  | Rule.Var v -> ( match List.assoc_opt v m with Some t' -> t' | None -> t)
+  | t -> t
+
+(* Extend mapping so that [src] (from Q2) matches [dst] (a term of Q1). *)
+let unify_term (m : mapping) (src : Rule.term) (dst : Rule.term) : mapping option =
+  match src with
+  | Rule.Wild -> Some m
+  | Rule.Const c -> (
+      match dst with
+      | Rule.Const c' when R.Value.equal c c' -> Some m
+      | _ -> None)
+  | Rule.Var v -> (
+      match List.assoc_opt v m with
+      | Some bound -> if bound = dst then Some m else None
+      | None -> if dst = Rule.Wild then None else Some ((v, dst) :: m))
+
+let unify_atom m (src : Rule.atom) (dst : Rule.atom) : mapping option =
+  if src.rel <> dst.rel || List.length src.args <> List.length dst.args then None
+  else
+    List.fold_left2
+      (fun acc s d -> match acc with None -> None | Some m -> unify_term m s d)
+      (Some m) src.args dst.args
+
+(* Does [filters1] syntactically contain the image of [f]?  (Also accepts
+   the symmetric form of equalities.) *)
+let filter_implied m (filters1 : Rule.filter list) (f : Rule.filter) =
+  let l = map_term m f.Rule.left and r = map_term m f.Rule.right in
+  let eq_filter (g : Rule.filter) op a b =
+    g.Rule.op = op && g.Rule.left = a && g.Rule.right = b
+  in
+  (match (l, r) with
+  | Rule.Const a, Rule.Const b -> (
+      match R.Value.compare3 a b with
+      | None -> false
+      | Some c -> (
+          match f.Rule.op with
+          | R.Expr.Eq -> c = 0 | R.Expr.Neq -> c <> 0 | R.Expr.Lt -> c < 0
+          | R.Expr.Le -> c <= 0 | R.Expr.Gt -> c > 0 | R.Expr.Ge -> c >= 0))
+  | _ -> false)
+  || List.exists (fun g -> eq_filter g f.Rule.op l r) filters1
+  || (f.Rule.op = R.Expr.Eq
+     && (l = r || List.exists (fun g -> eq_filter g R.Expr.Eq r l) filters1))
+
+(* Search for a homomorphism from q2's body into q1's body that is the
+   identity on the shared head variables. *)
+let homomorphism (q1 : Rule.t) (q2 : Rule.t) : mapping option =
+  let init =
+    List.map (fun v -> (v, Rule.Var v)) q2.head_vars
+  in
+  let rec go m = function
+    | [] ->
+        if List.for_all (filter_implied m q1.filters) q2.filters then Some m
+        else None
+    | atom :: rest ->
+        let rec try_targets = function
+          | [] -> None
+          | dst :: more -> (
+              match unify_atom m atom dst with
+              | Some m' -> (
+                  match go m' rest with
+                  | Some res -> Some res
+                  | None -> try_targets more)
+              | None -> try_targets more)
+        in
+        try_targets q1.atoms
+  in
+  go init q2.atoms
+
+(* q1 ⊆ q2 over the same head-variable list. *)
+let contained q1 q2 =
+  q1.Rule.head_vars = q2.Rule.head_vars && homomorphism q1 q2 <> None
+
+let equivalent q1 q2 = contained q1 q2 && contained q2 q1
+
+(* --- C2: guaranteed extension (chase) -------------------------------- *)
+
+let atom_mem a atoms = List.exists (fun b -> b = a) atoms
+
+(* Positional association of a relation's columns with an atom's args. *)
+let args_by_col ~schema_of (a : Rule.atom) =
+  let schema : R.Schema.table = schema_of a.rel in
+  List.combine (R.Schema.column_names schema) a.args
+
+let always_extends ~schema_of ~(inclusions : R.Schema.inclusion list)
+    ~(parent : Rule.t) ~(child : Rule.t) : bool =
+  let delta =
+    List.filter (fun a -> not (atom_mem a parent.Rule.atoms)) child.Rule.atoms
+  in
+  let delta_filters =
+    List.filter
+      (fun f -> not (List.mem f parent.Rule.filters))
+      child.Rule.filters
+  in
+  if delta = [] && delta_filters = [] then true
+  else if delta_filters <> [] then false
+  else begin
+    (* Chase: a delta atom is reachable if some safe atom guarantees a
+       matching row — via a NOT NULL foreign key onto the atom's key
+       (exactly one row), or via a declared inclusion dependency (at
+       least one row).  Terms already bound may only appear at the
+       matched positions; remaining positions must introduce fresh
+       variables or wildcards. *)
+    let bound = ref (List.sort_uniq compare (List.concat_map Rule.atom_vars parent.Rule.atoms)) in
+    let is_bound v = List.mem v !bound in
+    let fk_witness safe (a : Rule.atom) =
+      let a_cols = args_by_col ~schema_of a in
+      let a_schema : R.Schema.table = schema_of a.rel in
+      List.exists
+        (fun (b : Rule.atom) ->
+          let b_schema : R.Schema.table = schema_of b.rel in
+          let b_cols = args_by_col ~schema_of b in
+          List.exists
+            (fun (fk : R.Schema.foreign_key) ->
+              fk.ref_table = a.rel
+              && fk.ref_cols = a_schema.key
+              && List.for_all2
+                   (fun fk_col ref_col ->
+                     let src = List.assoc_opt fk_col b_cols in
+                     let dst = List.assoc_opt ref_col a_cols in
+                     let not_null =
+                       match R.Schema.find_column b_schema fk_col with
+                       | Some c -> not c.R.Schema.nullable
+                       | None -> false
+                     in
+                     not_null
+                     &&
+                     match (src, dst) with
+                     | Some (Rule.Var x), Some (Rule.Var y) ->
+                         x = y && is_bound x
+                     | Some (Rule.Const cx), Some (Rule.Const cy) ->
+                         R.Value.equal cx cy
+                     | _ -> false)
+                   fk.fk_cols fk.ref_cols)
+            b_schema.foreign_keys)
+        safe
+    in
+    let inclusion_witness safe (a : Rule.atom) =
+      let a_cols = args_by_col ~schema_of a in
+      List.exists
+        (fun (inc : R.Schema.inclusion) ->
+          inc.inc_ref_table = a.rel
+          && List.exists
+               (fun (b : Rule.atom) ->
+                 b.rel = inc.inc_table
+                 &&
+                 let b_cols = args_by_col ~schema_of b in
+                 List.for_all2
+                   (fun src_col ref_col ->
+                     match
+                       (List.assoc_opt src_col b_cols, List.assoc_opt ref_col a_cols)
+                     with
+                     | Some (Rule.Var x), Some (Rule.Var y) -> x = y && is_bound x
+                     | Some (Rule.Const cx), Some (Rule.Const cy) ->
+                         R.Value.equal cx cy
+                     | _ -> false)
+                   inc.inc_cols inc.inc_ref_cols)
+               safe)
+        inclusions
+    in
+    let fresh_positions_ok (a : Rule.atom) matched_ok =
+      (* every var of [a] must be either bound (and matched by the
+         witness) or fresh; a bound var at an unmatched position could
+         conflict with the guaranteed row. *)
+      List.for_all
+        (fun v -> (not (is_bound v)) || matched_ok v)
+        (Rule.atom_vars a)
+    in
+    let matched_vars_of (a : Rule.atom) =
+      (* variables at the key positions of [a] (the positions a witness
+         matches on). *)
+      let a_schema : R.Schema.table = schema_of a.rel in
+      let a_cols = args_by_col ~schema_of a in
+      List.filter_map
+        (fun k ->
+          match List.assoc_opt k a_cols with
+          | Some (Rule.Var v) -> Some v
+          | _ -> None)
+        a_schema.key
+      @ List.concat_map
+          (fun (inc : R.Schema.inclusion) ->
+            if inc.inc_ref_table = a.rel then
+              List.filter_map
+                (fun c ->
+                  match List.assoc_opt c a_cols with
+                  | Some (Rule.Var v) -> Some v
+                  | _ -> None)
+                inc.inc_ref_cols
+            else [])
+          inclusions
+    in
+    let rec chase remaining safe =
+      if remaining = [] then true
+      else
+        let ready =
+          List.filter
+            (fun a ->
+              let mv = matched_vars_of a in
+              fresh_positions_ok a (fun v -> List.mem v mv)
+              && (fk_witness safe a || inclusion_witness safe a))
+            remaining
+        in
+        match ready with
+        | [] -> false
+        | _ ->
+            List.iter
+              (fun a ->
+                bound :=
+                  List.sort_uniq compare (Rule.atom_vars a @ !bound))
+              ready;
+            chase
+              (List.filter (fun a -> not (List.mem a ready)) remaining)
+              (ready @ safe)
+    in
+    chase delta parent.Rule.atoms
+  end

@@ -1,0 +1,84 @@
+(* Naive bottom-up evaluation of a single non-recursive rule, with set
+   semantics.  This is deliberately simple: it is the executable ground
+   truth the tests compare the SQL translation and the tagger against. *)
+
+module R = Relational
+
+type env = (string * R.Value.t) list
+
+let lookup env v = List.assoc_opt v env
+
+let match_term env (t : Rule.term) (value : R.Value.t) : env option =
+  match t with
+  | Rule.Wild -> Some env
+  | Rule.Const c -> if R.Value.equal c value then Some env else None
+  | Rule.Var v -> (
+      match lookup env v with
+      | None -> Some ((v, value) :: env)
+      | Some bound -> if R.Value.equal bound value then Some env else None)
+
+let match_atom db env (a : Rule.atom) : env list =
+  let data = R.Database.raw_data db a.rel in
+  let args = Array.of_list a.args in
+  let arity = R.Schema.arity (R.Database.schema db a.rel) in
+  if Array.length args <> arity then
+    invalid_arg
+      (Printf.sprintf "Eval: atom %s has %d args, relation has arity %d" a.rel
+         (Array.length args) arity);
+  Array.fold_left
+    (fun acc row ->
+      let rec go env i =
+        if i >= Array.length args then Some env
+        else
+          match match_term env args.(i) row.(i) with
+          | None -> None
+          | Some env -> go env (i + 1)
+      in
+      match go env 0 with Some env -> env :: acc | None -> acc)
+    [] data
+  |> List.rev
+
+let filter_value env = function
+  | Rule.Const c -> Some c
+  | Rule.Var v -> lookup env v
+  | Rule.Wild -> None
+
+let filter_holds env (f : Rule.filter) =
+  match (filter_value env f.left, filter_value env f.right) with
+  | Some a, Some b -> (
+      match R.Value.compare3 a b with
+      | None -> false
+      | Some c -> (
+          match f.op with
+          | R.Expr.Eq -> c = 0
+          | R.Expr.Neq -> c <> 0
+          | R.Expr.Lt -> c < 0
+          | R.Expr.Le -> c <= 0
+          | R.Expr.Gt -> c > 0
+          | R.Expr.Ge -> c >= 0))
+  | _ -> false
+
+let run db (r : Rule.t) : R.Relation.t =
+  if not (Rule.is_safe r) then
+    invalid_arg ("Eval: unsafe rule " ^ Rule.to_string r);
+  let envs =
+    List.fold_left
+      (fun envs atom -> List.concat_map (fun env -> match_atom db env atom) envs)
+      [ [] ] r.atoms
+  in
+  let envs = List.filter (fun env -> List.for_all (filter_holds env) r.filters) envs in
+  let tuples =
+    List.map
+      (fun env ->
+        Array.of_list
+          (List.map
+             (fun v ->
+               match lookup env v with
+               | Some value -> value
+               | None -> R.Value.Null)
+             r.head_vars))
+      envs
+  in
+  (* set semantics *)
+  let distinct = List.sort_uniq Relational.Tuple.compare tuples in
+  R.Relation.create (Array.of_list r.head_vars) distinct

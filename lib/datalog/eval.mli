@@ -1,0 +1,9 @@
+(** Naive bottom-up evaluation of one non-recursive rule, set semantics.
+
+    Deliberately simple: the executable ground truth that the SQL
+    translation and the merge tagger are tested against. *)
+
+val run : Relational.Database.t -> Rule.t -> Relational.Relation.t
+(** Result columns are the rule's head variables, distinct rows sorted by
+    the total tuple order.  Raises [Invalid_argument] for unsafe rules or
+    arity-mismatched atoms. *)

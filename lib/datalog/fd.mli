@@ -1,0 +1,34 @@
+(** Functional-dependency reasoning over rule bodies.
+
+    Implements the paper's C1 test (Sec. 3.5): does the parent node's
+    Skolem term functionally determine the child's extra variables in the
+    child rule's relation?  FDs only — inclusion dependencies are not
+    chased, keeping the check tractable, as the paper prescribes
+    (following Beeri–Bernstein). *)
+
+module SS : Set.S with type elt = string
+
+type fd = { lhs : SS.t; rhs : SS.t }
+
+val fd : string list -> string list -> fd
+
+val fds_of_body :
+  schema_of:(string -> Relational.Schema.table) -> Rule.t -> fd list
+(** Variable-level FDs implied by the body: each atom's key variables
+    determine the atom's variables; equality filters add both directions;
+    var = constant makes the variable determined by the empty set. *)
+
+val closure : fd list -> string list -> SS.t
+(** Attribute closure of the given variable set. *)
+
+val implies : fd list -> string list -> string list -> bool
+(** [implies fds lhs rhs]: is lhs → rhs derivable? *)
+
+val functionally_determines :
+  schema_of:(string -> Relational.Schema.table) ->
+  child:Rule.t ->
+  string list ->
+  string list ->
+  bool
+(** [functionally_determines ~schema_of ~child parent_vars child_vars]:
+    the C1 test over the child rule's body. *)

@@ -1,0 +1,225 @@
+(* The cost / cardinality oracle.
+
+   Estimates are System-R style: per-table row counts from statistics,
+   equality selectivity 1/max(ndv), range selectivity 1/3, independence
+   across conjuncts.  evaluation_cost charges scans, hash-join passes and
+   sorts; data_size is estimated width x cardinality.  The greedy planner
+   (paper Sec. 5) calls [estimate] through a counting wrapper so the
+   experiments can report the number of oracle requests. *)
+
+type estimate = {
+  cardinality : float;
+  eval_cost : float;   (* abstract work units, comparable to Executor.stats.work *)
+  width : float;       (* average output tuple wire bytes *)
+}
+
+let data_size e = e.cardinality *. e.width
+
+(* The paper's linear cost combination: cost(q,a,b) =
+   a * evaluation_cost(q) + b * data_size(q). *)
+let cost ~a ~b e = (a *. e.eval_cost) +. (b *. data_size e)
+
+(* Per-column symbolic info carried through the estimator. *)
+type colinfo = { ndv : float; cwidth : float }
+
+type relinfo = {
+  card : float;
+  cols : ((string * string) * colinfo) list; (* (alias, column) *)
+}
+
+let find_col info (q, c) =
+  match q with
+  | Some a -> List.assoc_opt (a, c) info.cols
+  | None -> (
+      match List.filter (fun ((_, c'), _) -> c' = c) info.cols with
+      | [ (_, ci) ] -> Some ci
+      | _ -> None)
+
+let default_col = { ndv = 10.0; cwidth = 8.0 }
+
+let sel_of_cmp = function
+  | Expr.Eq -> `Eq
+  | Expr.Neq -> `Other
+  | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge -> `Range
+
+(* Selectivity of a predicate against the combined column info. *)
+let rec selectivity info (e : Expr.t) : float =
+  match e with
+  | Expr.Lit (Value.Bool true) -> 1.0
+  | Expr.Lit (Value.Bool false) -> 0.0
+  | Expr.And (x, y) -> selectivity info x *. selectivity info y
+  | Expr.Or (x, y) ->
+      let sx = selectivity info x and sy = selectivity info y in
+      sx +. sy -. (sx *. sy)
+  | Expr.Not x -> 1.0 -. selectivity info x
+  | Expr.Is_null _ -> 0.1
+  | Expr.Is_not_null _ -> 0.9
+  | Expr.Cmp (op, Expr.Col (qa, na), Expr.Col (qb, nb)) -> (
+      let ca = Option.value ~default:default_col (find_col info (qa, na)) in
+      let cb = Option.value ~default:default_col (find_col info (qb, nb)) in
+      match sel_of_cmp op with
+      | `Eq -> 1.0 /. Float.max 1.0 (Float.max ca.ndv cb.ndv)
+      | `Range -> 1.0 /. 3.0
+      | `Other -> 0.9)
+  | Expr.Cmp (op, Expr.Col (qa, na), Expr.Lit _)
+  | Expr.Cmp (op, Expr.Lit _, Expr.Col (qa, na)) -> (
+      let ca = Option.value ~default:default_col (find_col info (qa, na)) in
+      match sel_of_cmp op with
+      | `Eq -> 1.0 /. Float.max 1.0 ca.ndv
+      | `Range -> 1.0 /. 3.0
+      | `Other -> 0.9)
+  | Expr.Cmp _ -> 0.5
+  | Expr.Lit _ | Expr.Col _ | Expr.Arith _ -> 1.0
+
+let log2 x = if x <= 2.0 then 1.0 else Float.log x /. Float.log 2.0
+
+(* Estimation state threads an accumulated evaluation cost. *)
+type acc = { mutable total : float }
+
+let rec info_of_table_ref stats db acc (r : Sql.table_ref) : relinfo =
+  match r with
+  | Sql.Table { name; alias } ->
+      let ts = Stats.table_exn stats name in
+      let card = float_of_int ts.row_count in
+      acc.total <- acc.total +. card;
+      (* scan cost *)
+      {
+        card;
+        cols =
+          List.map
+            (fun (c, (cs : Stats.column_stats)) ->
+              ( (alias, c),
+                { ndv = float_of_int cs.distinct; cwidth = cs.avg_width } ))
+            ts.columns;
+      }
+  | Sql.Derived { query; alias } ->
+      let e, info = estimate_query stats db acc query in
+      {
+        card = e.cardinality;
+        cols = List.map (fun ((_, c), ci) -> ((alias, c), ci)) info.cols;
+      }
+  | Sql.Join { left; kind; right; on } ->
+      let li = info_of_table_ref stats db acc left in
+      let ri = info_of_table_ref stats db acc right in
+      let combined = { card = li.card *. ri.card; cols = li.cols @ ri.cols } in
+      let sel = selectivity combined on in
+      let inner = Float.max 1.0 (combined.card *. sel) in
+      let card =
+        match kind with
+        | Sql.Inner -> inner
+        | Sql.Left_outer -> Float.max inner li.card
+      in
+      (* hash join: read both inputs, emit output *)
+      acc.total <- acc.total +. li.card +. ri.card +. card;
+      { card; cols = combined.cols }
+
+and info_of_select stats db acc (s : Sql.select) : relinfo =
+  (* Mirror the executor's comma-join strategy: conjuncts are applied as
+     soon as their columns are available, so intermediate cardinalities
+     (and the join work charged for them) reflect eager filtering rather
+     than cross products. *)
+  let conjs = match s.where with None -> [] | Some w -> Expr.conjuncts w in
+  let applicable info c =
+    List.for_all (fun qc -> find_col info qc <> None) (Expr.columns c)
+  in
+  let step (left, pending) r =
+    let ri = info_of_table_ref stats db acc r in
+    let combined = { card = left.card *. ri.card; cols = left.cols @ ri.cols } in
+    let now, later = List.partition (applicable combined) pending in
+    let sel =
+      List.fold_left (fun s c -> s *. selectivity combined c) 1.0 now
+    in
+    let card = Float.max 1.0 (combined.card *. sel) in
+    (* charge a hash-join pass: read both inputs, emit the output *)
+    if left.cols <> [] then
+      acc.total <- acc.total +. left.card +. ri.card +. card;
+    ({ combined with card }, later)
+  in
+  let base, leftover =
+    List.fold_left step ({ card = 1.0; cols = [] }, conjs) s.from
+  in
+  let sel =
+    List.fold_left (fun s c -> s *. selectivity base c) 1.0 leftover
+  in
+  let card = Float.max 1.0 (base.card *. sel) in
+  acc.total <- acc.total +. card;
+  (* emission *)
+  let cols =
+    List.map
+      (fun (it : Sql.select_item) ->
+        let ci =
+          match it.expr with
+          | Expr.Col (q, c) ->
+              Option.value ~default:default_col (find_col base (q, c))
+          | Expr.Lit v ->
+              { ndv = 1.0; cwidth = float_of_int (Value.wire_size v) }
+          | _ -> default_col
+        in
+        (("", it.alias), { ci with ndv = Float.min ci.ndv card }))
+      s.items
+  in
+  { card; cols }
+
+and info_of_body stats db acc (b : Sql.body) : relinfo =
+  match b with
+  | Sql.Select s -> info_of_select stats db acc s
+  | Sql.Union_all (x, y) ->
+      let ix = info_of_body stats db acc x in
+      let iy = info_of_body stats db acc y in
+      let cols =
+        List.map2
+          (fun (k, cx) (_, cy) ->
+            ( k,
+              {
+                ndv = cx.ndv +. cy.ndv;
+                cwidth = Float.max cx.cwidth cy.cwidth;
+              } ))
+          ix.cols iy.cols
+      in
+      { card = ix.card +. iy.card; cols }
+
+and estimate_query ?(profile = Executor.default_profile) stats db acc
+    (q : Sql.query) : estimate * relinfo =
+  let info = info_of_body stats db acc q.body in
+  let width =
+    List.fold_left (fun w (_, ci) -> w +. ci.cwidth) 0.0 info.cols
+  in
+  (* width-sensitive emission, mirroring Executor.charge_emit_row *)
+  acc.total <-
+    acc.total +. (info.card *. width /. float_of_int profile.Executor.byte_div);
+  (match q.order_by with
+  | [] -> ()
+  | _ ->
+      acc.total <- acc.total +. (info.card *. log2 info.card);
+      (* external-sort spill, mirroring Executor.charge_sort *)
+      let bytes = info.card *. width in
+      let buffer = float_of_int profile.Executor.sort_buffer in
+      if bytes > buffer then begin
+        let passes = Float.max 1.0 (log2 (bytes /. buffer)) in
+        acc.total <-
+          acc.total
+          +. (passes *. bytes /. float_of_int profile.Executor.byte_div)
+      end);
+  ({ cardinality = info.card; eval_cost = acc.total; width }, info)
+
+let estimate ?profile stats db (q : Sql.query) : estimate =
+  let acc = { total = 0.0 } in
+  fst (estimate_query ?profile stats db acc q)
+
+(* A counting oracle: the experiments of Sec. 5.1 report how many
+   estimate requests the greedy planner issues. *)
+type oracle = {
+  stats : Stats.t;
+  db : Database.t;
+  mutable requests : int;
+}
+
+let oracle db = { stats = Stats.analyze db; db; requests = 0 }
+let oracle_with_stats db stats = { stats; db; requests = 0 }
+
+let ask ?profile o q =
+  o.requests <- o.requests + 1;
+  estimate ?profile o.stats o.db q
+
+let requests o = o.requests
+let reset_requests o = o.requests <- 0

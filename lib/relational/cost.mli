@@ -1,0 +1,40 @@
+(** Cost / cardinality estimation — the planner's oracle.
+
+    System-R style estimates over {!Stats}: equality selectivity
+    [1/max(ndv)], range selectivity [1/3], independence across conjuncts;
+    scans, hash-join passes and sorts are charged into [eval_cost];
+    [data_size] is estimated width × cardinality.  The paper's greedy
+    planner uses exactly this interface: "The RDBMS serves as an oracle,
+    providing the values for the functions evaluation_cost and
+    cardinality" (Sec. 5). *)
+
+type estimate = {
+  cardinality : float;
+  eval_cost : float;  (** abstract work units, comparable to {!Executor.stats} work *)
+  width : float;  (** average output tuple wire bytes *)
+}
+
+val data_size : estimate -> float
+(** [cardinality ×. width]. *)
+
+val cost : a:float -> b:float -> estimate -> float
+(** The paper's linear combination [a·eval_cost + b·data_size]. *)
+
+val estimate :
+  ?profile:Executor.profile -> Stats.t -> Database.t -> Sql.query -> estimate
+
+(** {1 Counting oracle}
+
+    Sec. 5.1 of the paper reports the number of cost-estimate requests the
+    greedy planner issues (22 non-reduced, 25 reduced, vs. 81 worst case);
+    the wrapper below counts them. *)
+
+type oracle
+
+val oracle : Database.t -> oracle
+(** Analyzes the database and wraps it as a counting oracle. *)
+
+val oracle_with_stats : Database.t -> Stats.t -> oracle
+val ask : ?profile:Executor.profile -> oracle -> Sql.query -> estimate
+val requests : oracle -> int
+val reset_requests : oracle -> unit

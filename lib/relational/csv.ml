@@ -1,0 +1,183 @@
+(* CSV import/export for loading real data into the catalog.
+
+   RFC-4180-ish: comma separators, double-quote quoting with "" escapes,
+   both \n and \r\n row terminators.  Values are parsed according to the
+   target table's column types; empty unquoted fields in nullable columns
+   load as NULL. *)
+
+exception Csv_error of string * int (* message, 1-based row *)
+
+let fail row fmt = Format.kasprintf (fun m -> raise (Csv_error (m, row))) fmt
+
+(* --- low-level record reader -------------------------------------------- *)
+
+(* Fields carry a [quoted] flag so the typed loader can distinguish an
+   unquoted empty field (NULL) from a quoted empty string. *)
+let parse_rows_tagged (text : string) : (string * bool) list list =
+  let n = String.length text in
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let field_quoted = ref false in
+  let push_field () =
+    fields := (Buffer.contents buf, !field_quoted) :: !fields;
+    Buffer.clear buf;
+    field_quoted := false
+  in
+  let push_row () =
+    push_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = text.[!i] in
+    if !in_quotes then
+      if c = '"' then
+        if !i + 1 < n && text.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          i := !i + 2
+        end
+        else begin
+          in_quotes := false;
+          incr i
+        end
+      else begin
+        Buffer.add_char buf c;
+        incr i
+      end
+    else begin
+      (match c with
+      | '"' ->
+          in_quotes := true;
+          field_quoted := true
+      | ',' -> push_field ()
+      | '\n' -> push_row ()
+      | '\r' -> () (* swallow; \n follows in \r\n *)
+      | c -> Buffer.add_char buf c);
+      incr i
+    end
+  done;
+  if Buffer.length buf > 0 || !fields <> [] || !field_quoted then push_row ();
+  (* a trailing fully-empty record (final newline) is not a row *)
+  List.rev !rows |> List.filter (fun r -> r <> [ ("", false) ])
+
+let parse_rows text = List.map (List.map fst) (parse_rows_tagged text)
+
+(* --- typed loading ------------------------------------------------------- *)
+
+let value_of_field row (col : Schema.column) (text, quoted) : Value.t =
+  if text = "" && not quoted then
+    if col.Schema.nullable then Value.Null
+    else fail row "empty value in NOT NULL column %s" col.Schema.col_name
+  else
+    try
+      match col.Schema.col_ty with
+      | Value.TInt -> Value.Int (int_of_string (String.trim text))
+      | Value.TFloat -> Value.Float (float_of_string (String.trim text))
+      | Value.TBool -> (
+          match String.lowercase_ascii (String.trim text) with
+          | "true" | "t" | "1" -> Value.Bool true
+          | "false" | "f" | "0" -> Value.Bool false
+          | s -> fail row "bad bool %S in column %s" s col.Schema.col_name)
+      | Value.TDate -> Value.Date (int_of_string (String.trim text))
+      | Value.TString -> Value.String text
+    with Failure _ ->
+      fail row "bad %s value %S in column %s"
+        (Value.ty_name col.Schema.col_ty)
+        text col.Schema.col_name
+
+(* Load CSV [text] into [table].  With [header] (default), the first row
+   names the columns and may reorder or omit nullable ones. *)
+let load ?(header = true) (db : Database.t) (table : string) (text : string) :
+    int =
+  let schema = Database.schema db table in
+  let rows = parse_rows_tagged text in
+  let col_order, data_rows =
+    match (header, rows) with
+    | true, hdr :: rest ->
+        let names = List.map fst hdr in
+        let cols =
+          List.map
+            (fun name ->
+              match
+                List.find_opt
+                  (fun (c : Schema.column) -> c.Schema.col_name = name)
+                  schema.Schema.columns
+              with
+              | Some c -> c
+              | None -> fail 1 "%s has no column %s" table name)
+            names
+        in
+        (cols, rest)
+    | true, [] -> (schema.Schema.columns, [])
+    | false, rows -> (schema.Schema.columns, rows)
+  in
+  let tuples =
+    List.mapi
+      (fun idx fields ->
+        let row = idx + if header then 2 else 1 in
+        if List.length fields <> List.length col_order then
+          fail row "expected %d fields, got %d" (List.length col_order)
+            (List.length fields);
+        let by_name =
+          List.map2 (fun (c : Schema.column) f -> (c, f)) col_order fields
+        in
+        Array.of_list
+          (List.map
+             (fun (c : Schema.column) ->
+               match
+                 List.find_opt (fun (c', _) -> c' == c) by_name
+               with
+               | Some (_, f) -> value_of_field row c f
+               | None ->
+                   if c.Schema.nullable then Value.Null
+                   else fail row "missing NOT NULL column %s" c.Schema.col_name)
+             schema.Schema.columns))
+      data_rows
+  in
+  Database.insert db table tuples;
+  List.length tuples
+
+(* --- export -------------------------------------------------------------- *)
+
+let escape_field s =
+  if
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let field_of_value = function
+  | Value.Null -> ""
+  (* a present-but-empty string must stay distinguishable from NULL *)
+  | Value.String "" -> "\"\""
+  | Value.String s -> escape_field s
+  | Value.Int n -> string_of_int n
+  | Value.Float f -> Printf.sprintf "%h" f
+  | Value.Bool b -> if b then "true" else "false"
+  | Value.Date d -> string_of_int d
+
+let export (db : Database.t) (table : string) : string =
+  let schema = Database.schema db table in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (String.concat "," (Schema.column_names schema));
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat ","
+           (Array.to_list (Array.map field_of_value row)));
+      Buffer.add_char buf '\n')
+    (Database.raw_data db table);
+  Buffer.contents buf

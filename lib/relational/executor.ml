@@ -1,0 +1,434 @@
+(* Query execution.
+
+   The engine interprets the SQL AST directly: hash joins where the ON /
+   WHERE conditions provide column equalities (including OR-expansion for
+   the disjunctive ON conditions that unified outer-join plans produce),
+   nested loops otherwise, greedy connected-join ordering for comma FROM
+   lists, and stable multi-key sorting.
+
+   Execution is metered: every row scanned, probed, emitted or sorted
+   charges a work counter.  The counter serves two purposes: it implements
+   the experiment timeout (the paper killed sub-queries after five
+   minutes), and it provides a deterministic "simulated time" that makes
+   the experiment output reproducible across machines. *)
+
+exception Timeout
+exception Ambiguous_column of string
+
+type stats = {
+  mutable scanned : int;       (* rows read from stored tables *)
+  mutable probed : int;        (* join candidate pairs examined *)
+  mutable emitted : int;       (* rows produced by operators *)
+  mutable sorted : int;        (* rows passed through sort *)
+  mutable spill_passes : int;  (* external-sort merge passes *)
+  mutable work : int;          (* total work units, drives the budget *)
+}
+
+let new_stats () =
+  { scanned = 0; probed = 0; emitted = 0; sorted = 0; spill_passes = 0; work = 0 }
+
+(* Cost profile of the simulated server.  The engine runs in memory, but
+   the work meter models a disk-based RDBMS: rows are charged by width
+   (NULL padding is cheap but not free), and sorting a result larger
+   than [sort_buffer] bytes pays external merge passes.  These two
+   effects are what the paper blames for the unified plans' slowness:
+   "they sort smaller result relations and therefore are less likely to
+   spill tuples to disk; and they typically have many fewer null values
+   than a unified query" (Sec. 7). *)
+type profile = {
+  sort_buffer : int;   (* bytes of sort memory before spilling *)
+  byte_div : int;      (* bytes per extra work unit on emit/sort/spill *)
+}
+
+let default_profile = { sort_buffer = 64 * 1024; byte_div = 16 }
+
+(* Work-unit weights; stable, not physically meaningful. *)
+let w_scan = 1
+let w_probe = 1
+let w_emit = 2
+let w_sort = 4
+
+type ctx = { db : Database.t; st : stats; budget : int; profile : profile }
+
+let charge ctx field n =
+  (match field with
+  | `Scan ->
+      ctx.st.scanned <- ctx.st.scanned + n;
+      ctx.st.work <- ctx.st.work + (n * w_scan)
+  | `Probe ->
+      ctx.st.probed <- ctx.st.probed + n;
+      ctx.st.work <- ctx.st.work + (n * w_probe)
+  | `Emit ->
+      ctx.st.emitted <- ctx.st.emitted + n;
+      ctx.st.work <- ctx.st.work + (n * w_emit)
+  | `Sort ->
+      ctx.st.sorted <- ctx.st.sorted + n;
+      ctx.st.work <- ctx.st.work + (n * w_sort));
+  if ctx.budget > 0 && ctx.st.work > ctx.budget then raise Timeout
+
+(* Width-sensitive emission: a produced row also pays for its bytes. *)
+let charge_emit_row ctx (t : Tuple.t) =
+  charge ctx `Emit 1;
+  let bytes = Tuple.wire_size t in
+  ctx.st.work <- ctx.st.work + (bytes / ctx.profile.byte_div);
+  if ctx.budget > 0 && ctx.st.work > ctx.budget then raise Timeout
+
+(* Sorting [rows] totalling [bytes]: n log n comparisons charged per row,
+   plus external merge passes once the sort buffer is exceeded — each
+   pass rereads and rewrites the whole run. *)
+let charge_sort ctx rows bytes =
+  let log2 n =
+    let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+    go 0 n
+  in
+  charge ctx `Sort (rows * max 1 (log2 rows));
+  if bytes > ctx.profile.sort_buffer then begin
+    let ratio = bytes / ctx.profile.sort_buffer in
+    let passes = max 1 (log2 ratio) in
+    ctx.st.spill_passes <- ctx.st.spill_passes + passes;
+    ctx.st.work <- ctx.st.work + (passes * (bytes / ctx.profile.byte_div));
+    if ctx.budget > 0 && ctx.st.work > ctx.budget then raise Timeout
+  end
+
+(* A header names each position of an intermediate tuple with (alias,
+   column).  The same column name may appear under several aliases. *)
+type header = (string * string) array
+
+type rel = { header : header; tuples : Tuple.t list }
+
+let lookup (header : header) (q, c) =
+  let n = Array.length header in
+  match q with
+  | Some a ->
+      let rec go i =
+        if i >= n then None
+        else if fst header.(i) = a && snd header.(i) = c then Some i
+        else go (i + 1)
+      in
+      go 0
+  | None ->
+      let rec go i found =
+        if i >= n then found
+        else if snd header.(i) = c then
+          match found with
+          | None -> go (i + 1) (Some i)
+          | Some _ -> raise (Ambiguous_column c)
+        else go (i + 1) found
+      in
+      go 0 None
+
+let resolver header e = Expr.resolve (lookup header) e
+
+(* --- scans ----------------------------------------------------------- *)
+
+let scan ctx name alias : rel =
+  let schema = Database.schema ctx.db name in
+  let data = Database.raw_data ctx.db name in
+  charge ctx `Scan (Array.length data);
+  let header =
+    Array.of_list
+      (List.map (fun c -> (alias, c)) (Schema.column_names schema))
+  in
+  { header; tuples = Array.to_list data }
+
+(* --- predicates over a pair of relations ------------------------------ *)
+
+(* Split a predicate into top-level disjuncts; within each disjunct,
+   extract the column equalities usable as hash keys between the left
+   and right headers. *)
+let rec disjuncts_of = function
+  | Expr.Or (a, b) -> disjuncts_of a @ disjuncts_of b
+  | e -> [ e ]
+
+let equi_keys lh rh e =
+  let pairs =
+    List.filter_map
+      (fun c ->
+        match Expr.as_column_equality c with
+        | Some (x, y) -> (
+            match (lookup lh x, lookup rh y) with
+            | Some i, Some j -> Some (i, j)
+            | _ -> (
+                match (lookup lh y, lookup rh x) with
+                | Some i, Some j -> Some (i, j)
+                | _ -> None))
+        | None -> None)
+      (Expr.conjuncts e)
+  in
+  ( Array.of_list (List.map fst pairs),
+    Array.of_list (List.map snd pairs) )
+
+(* --- joins ------------------------------------------------------------ *)
+
+module Key = struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i =
+      i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1))
+    in
+    go 0
+
+  let hash k = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+(* Generic hash-based join with OR-expansion.  Each disjunct of the ON
+   condition that has column equalities gets a hash table on the right
+   input; probing unions candidate row ids, then the full ON predicate
+   decides.  Disjuncts without equalities force the whole right side to be
+   a candidate (degrading to a nested loop for those). *)
+let join ctx kind (left : rel) (right : rel) (on : Expr.t) : rel =
+  let header = Array.append left.header right.header in
+  let resolved_on = resolver header on in
+  let right_arr = Array.of_list right.tuples in
+  let nright = Array.length right_arr in
+  let djs = disjuncts_of on in
+  let plans =
+    List.map
+      (fun d ->
+        let lk, rk = equi_keys left.header right.header d in
+        if Array.length lk = 0 then `Full
+        else begin
+          let tbl = KeyTbl.create (max 16 nright) in
+          Array.iteri
+            (fun idx row ->
+              let k = Tuple.project rk row in
+              let prev = try KeyTbl.find tbl k with Not_found -> [] in
+              KeyTbl.replace tbl k (idx :: prev))
+            right_arr;
+          `Hash (lk, tbl)
+        end)
+      djs
+  in
+  let needs_full =
+    List.exists (function `Full -> true | `Hash _ -> false) plans
+  in
+  let null_pad = Tuple.all_null (Array.length right.header) in
+  let out = ref [] in
+  let candidates = Hashtbl.create 64 in
+  List.iter
+    (fun lrow ->
+      Hashtbl.reset candidates;
+      if needs_full then
+        for i = 0 to nright - 1 do
+          Hashtbl.replace candidates i ()
+        done
+      else
+        List.iter
+          (function
+            | `Full -> ()
+            | `Hash (lk, tbl) -> (
+                let k = Tuple.project lk lrow in
+                match KeyTbl.find_opt tbl k with
+                | None -> ()
+                | Some idxs -> List.iter (fun i -> Hashtbl.replace candidates i ()) idxs))
+          plans;
+      let matched = ref false in
+      (* Iterate in ascending right-row order for deterministic output. *)
+      let idxs =
+        Hashtbl.fold (fun i () acc -> i :: acc) candidates []
+        |> List.sort compare
+      in
+      charge ctx `Probe (List.length idxs);
+      List.iter
+        (fun i ->
+          let joined = Tuple.concat lrow right_arr.(i) in
+          if Expr.eval_pred resolved_on joined then begin
+            matched := true;
+            charge_emit_row ctx joined;
+            out := joined :: !out
+          end)
+        idxs;
+      if (not !matched) && kind = Sql.Left_outer then begin
+        let padded = Tuple.concat lrow null_pad in
+        charge_emit_row ctx padded;
+        out := padded :: !out
+      end)
+    left.tuples;
+  { header; tuples = List.rev !out }
+
+(* --- FROM list: greedy connected ordering ----------------------------- *)
+
+(* Joining the comma list left to right with the WHERE conjuncts that
+   become applicable; pick the next table that is connected to the current
+   result by an equality conjunct to avoid Cartesian products. *)
+let rec eval_table_ref ctx (r : Sql.table_ref) : rel =
+  match r with
+  | Sql.Table { name; alias } -> scan ctx name alias
+  | Sql.Derived { query; alias } ->
+      let result = eval_query ctx query in
+      let header =
+        Array.map (fun c -> (alias, c)) (Relation.cols result)
+      in
+      { header; tuples = Relation.rows result }
+  | Sql.Join { left; kind; right; on } ->
+      let l = eval_table_ref ctx left in
+      let r = eval_table_ref ctx right in
+      join ctx kind l r on
+
+and eval_from ctx (from : Sql.table_ref list) (where : Expr.t option) : rel =
+  match from with
+  | [] ->
+      (* dual: single empty row *)
+      { header = [||]; tuples = [ [||] ] }
+  | first :: rest ->
+      let conjs = match where with None -> [] | Some w -> Expr.conjuncts w in
+      let applicable header c =
+        List.for_all
+          (fun qc -> lookup header qc <> None)
+          (Expr.columns c)
+      in
+      let apply_filters current pending =
+        let now, later =
+          List.partition (fun c -> applicable current.header c) pending
+        in
+        match now with
+        | [] -> (current, later)
+        | _ ->
+            let pred = resolver current.header (Expr.conjoin now) in
+            let tuples = List.filter (Expr.eval_pred pred) current.tuples in
+            charge ctx `Emit (List.length tuples);
+            ({ current with tuples }, later)
+      in
+      let connected current_header candidate =
+        let ch = eval_header_of ctx candidate in
+        List.exists
+          (fun c ->
+            match Expr.as_column_equality c with
+            | Some (x, y) ->
+                (lookup current_header x <> None && lookup ch y <> None)
+                || (lookup current_header y <> None && lookup ch x <> None)
+            | None -> false)
+          conjs
+      in
+      let current, pending =
+        apply_filters (eval_table_ref ctx first) conjs
+      in
+      let rec go current pending remaining =
+        match remaining with
+        | [] ->
+            (match pending with
+            | [] -> current
+            | leftover ->
+                (* Conjuncts never became applicable: resolution error. *)
+                let pred = resolver current.header (Expr.conjoin leftover) in
+                { current with
+                  tuples = List.filter (Expr.eval_pred pred) current.tuples
+                })
+        | _ ->
+            let next, rest =
+              match
+                List.partition (fun r -> connected current.header r) remaining
+              with
+              | n :: ns, others -> (n, ns @ others)
+              | [], r :: rs -> (r, rs)
+              | [], [] -> assert false
+            in
+            let right = eval_table_ref ctx next in
+            (* Use the applicable cross-table conjuncts as the join
+               condition; leave the rest pending. *)
+            let header = Array.append current.header right.header in
+            let usable, pending' =
+              List.partition (fun c -> applicable header c) pending
+            in
+            let on = Expr.conjoin usable in
+            let current = join ctx Sql.Inner current right on in
+            let current, pending' = apply_filters current pending' in
+            go current pending' rest
+      in
+      go current pending rest
+
+(* Header of a table_ref without evaluating it (used for connectivity). *)
+and eval_header_of ctx (r : Sql.table_ref) : header =
+  match r with
+  | Sql.Table { name; alias } ->
+      let schema = Database.schema ctx.db name in
+      Array.of_list
+        (List.map (fun c -> (alias, c)) (Schema.column_names schema))
+  | Sql.Derived { query; alias } ->
+      Array.of_list
+        (List.map (fun c -> (alias, c)) (Sql.output_columns query))
+  | Sql.Join { left; right; _ } ->
+      Array.append (eval_header_of ctx left) (eval_header_of ctx right)
+
+and eval_select ctx (s : Sql.select) : rel =
+  let input = eval_from ctx s.from s.where in
+  let items =
+    List.map
+      (fun (it : Sql.select_item) -> (it.alias, resolver input.header it.expr))
+      s.items
+  in
+  let out_header =
+    Array.of_list (List.map (fun (a, _) -> ("", a)) items)
+  in
+  let tuples =
+    List.map
+      (fun row ->
+        let t = Array.of_list (List.map (fun (_, r) -> Expr.eval r row) items) in
+        charge_emit_row ctx t;
+        t)
+      input.tuples
+  in
+  { header = out_header; tuples }
+
+and eval_body ctx (b : Sql.body) : rel =
+  match b with
+  | Sql.Select s -> eval_select ctx s
+  | Sql.Union_all (a, b) ->
+      let ra = eval_body ctx a in
+      let rb = eval_body ctx b in
+      if Array.length ra.header <> Array.length rb.header then
+        invalid_arg "Executor: UNION ALL branches have different arity";
+      { ra with tuples = ra.tuples @ rb.tuples }
+
+and eval_query ctx (q : Sql.query) : Relation.t =
+  let result = eval_body ctx q.body in
+  let cols = Array.map snd result.header in
+  let tuples =
+    match q.order_by with
+    | [] -> result.tuples
+    | keys ->
+        let resolved =
+          List.map
+            (fun (e, d) ->
+              let r =
+                match e with
+                | Expr.Col (_, c) -> (
+                    (* ORDER BY over output columns: resolve by name only *)
+                    match lookup result.header (None, c) with
+                    | Some i -> Expr.resolve (fun _ -> Some i) (Expr.Col (None, c))
+                    | None -> resolver result.header e)
+                | _ -> resolver result.header e
+              in
+              (r, d))
+            keys
+        in
+        let cmp a b =
+          let rec go = function
+            | [] -> 0
+            | (r, d) :: rest ->
+                let va = Expr.eval r a and vb = Expr.eval r b in
+                let c = Value.compare_total va vb in
+                let c = if d = Sql.Desc then -c else c in
+                if c <> 0 then c else go rest
+          in
+          go resolved
+        in
+        let bytes =
+          List.fold_left (fun acc t -> acc + Tuple.wire_size t) 0 result.tuples
+        in
+        charge_sort ctx (List.length result.tuples) bytes;
+        List.stable_sort cmp result.tuples
+  in
+  Relation.create cols tuples
+
+let run_with_stats ?(budget = 0) ?(profile = default_profile) db (q : Sql.query) =
+  let ctx = { db; st = new_stats (); budget; profile } in
+  let rel = eval_query ctx q in
+  (rel, ctx.st)
+
+let run ?budget ?profile db q = fst (run_with_stats ?budget ?profile db q)

@@ -1,0 +1,47 @@
+(** Query execution.
+
+    Interprets the SQL AST directly: hash joins where ON/WHERE conditions
+    provide column equalities (with OR-expansion for the disjunctive ON
+    conditions produced by unified outer-join plans), nested loops
+    otherwise, greedy connected-join ordering for comma FROM lists, and
+    stable multi-key sorting under the total value order.
+
+    Execution is metered in abstract work units.  The meter implements the
+    experiment timeout (the paper killed sub-queries after five minutes)
+    and provides a deterministic "simulated time" for reproducible
+    experiment output. *)
+
+exception Timeout
+(** Raised when the work budget is exhausted. *)
+
+exception Ambiguous_column of string
+(** An unqualified column name matched several positions. *)
+
+type stats = {
+  mutable scanned : int;  (** rows read from stored tables *)
+  mutable probed : int;  (** join candidate pairs examined *)
+  mutable emitted : int;  (** rows produced by operators *)
+  mutable sorted : int;  (** rows passed through sorting *)
+  mutable spill_passes : int;  (** external-sort merge passes *)
+  mutable work : int;  (** total work units (weighted sum) *)
+}
+
+val new_stats : unit -> stats
+
+(** Cost profile of the simulated server: rows are charged by wire width
+    and sorts larger than [sort_buffer] bytes pay external merge passes —
+    the two effects the paper blames for the unified plans' slowness
+    (Sec. 7). *)
+type profile = {
+  sort_buffer : int;  (** bytes of sort memory before spilling *)
+  byte_div : int;  (** bytes per extra work unit on emit/sort/spill *)
+}
+
+val default_profile : profile
+
+val run : ?budget:int -> ?profile:profile -> Database.t -> Sql.query -> Relation.t
+(** Executes a query.  [budget > 0] bounds the work units; exceeding it
+    raises {!Timeout}. *)
+
+val run_with_stats :
+  ?budget:int -> ?profile:profile -> Database.t -> Sql.query -> Relation.t * stats

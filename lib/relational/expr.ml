@@ -1,0 +1,160 @@
+(* Scalar expressions and predicates with SQL three-valued logic.
+   Expressions are built with possibly-qualified column references and are
+   resolved to tuple positions before execution. *)
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div
+
+type t =
+  | Col of string option * string (* qualifier, column *)
+  | Lit of Value.t
+  | Cmp of cmp * t * t
+  | Arith of arith * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Is_not_null of t
+
+let col ?qualifier name = Col (qualifier, name)
+let int n = Lit (Value.Int n)
+let str s = Lit (Value.String s)
+let eq a b = Cmp (Eq, a, b)
+let ( &&& ) a b = And (a, b)
+
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> Lit (Value.Bool true)
+  | e :: rest -> List.fold_left (fun acc c -> And (acc, c)) e rest
+
+let rec columns = function
+  | Col (q, c) -> [ (q, c) ]
+  | Lit _ -> []
+  | Cmp (_, a, b) | Arith (_, a, b) | And (a, b) | Or (a, b) ->
+      columns a @ columns b
+  | Not e | Is_null e | Is_not_null e -> columns e
+
+(* An equality between two plain columns, suitable for hash joins. *)
+let as_column_equality = function
+  | Cmp (Eq, Col (qa, ca), Col (qb, cb)) -> Some ((qa, ca), (qb, cb))
+  | _ -> None
+
+let cmp_name = function
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let arith_name = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let rec to_sql = function
+  | Col (None, c) -> c
+  | Col (Some q, c) -> q ^ "." ^ c
+  | Lit v -> Value.to_sql v
+  | Cmp (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (to_sql a) (cmp_name op) (to_sql b)
+  | Arith (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (to_sql a) (arith_name op) (to_sql b)
+  | And (a, b) -> Printf.sprintf "(%s AND %s)" (to_sql a) (to_sql b)
+  | Or (a, b) -> Printf.sprintf "(%s OR %s)" (to_sql a) (to_sql b)
+  | Not e -> Printf.sprintf "(NOT %s)" (to_sql e)
+  | Is_null e -> Printf.sprintf "(%s IS NULL)" (to_sql e)
+  | Is_not_null e -> Printf.sprintf "(%s IS NOT NULL)" (to_sql e)
+
+let pp fmt e = Format.pp_print_string fmt (to_sql e)
+
+(* --- Resolution and evaluation ------------------------------------- *)
+
+type resolved =
+  | R_col of int
+  | R_lit of Value.t
+  | R_cmp of cmp * resolved * resolved
+  | R_arith of arith * resolved * resolved
+  | R_and of resolved * resolved
+  | R_or of resolved * resolved
+  | R_not of resolved
+  | R_is_null of resolved
+  | R_is_not_null of resolved
+
+exception Unresolved_column of string
+
+let rec resolve lookup = function
+  | Col (q, c) -> (
+      match lookup (q, c) with
+      | Some i -> R_col i
+      | None ->
+          raise
+            (Unresolved_column
+               (match q with Some q -> q ^ "." ^ c | None -> c)))
+  | Lit v -> R_lit v
+  | Cmp (op, a, b) -> R_cmp (op, resolve lookup a, resolve lookup b)
+  | Arith (op, a, b) -> R_arith (op, resolve lookup a, resolve lookup b)
+  | And (a, b) -> R_and (resolve lookup a, resolve lookup b)
+  | Or (a, b) -> R_or (resolve lookup a, resolve lookup b)
+  | Not e -> R_not (resolve lookup e)
+  | Is_null e -> R_is_null (resolve lookup e)
+  | Is_not_null e -> R_is_not_null (resolve lookup e)
+
+let apply_cmp op c =
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let apply_arith op a b =
+  let open Value in
+  match (op, a, b) with
+  | _, Null, _ | _, _, Null -> Null
+  | Add, Int x, Int y -> Int (x + y)
+  | Sub, Int x, Int y -> Int (x - y)
+  | Mul, Int x, Int y -> Int (x * y)
+  | Div, Int _, Int 0 -> Null
+  | Div, Int x, Int y -> Int (x / y)
+  | Add, Float x, Float y -> Float (x +. y)
+  | Sub, Float x, Float y -> Float (x -. y)
+  | Mul, Float x, Float y -> Float (x *. y)
+  | Div, Float x, Float y -> if y = 0.0 then Null else Float (x /. y)
+  | Add, Int x, Float y -> Float (float_of_int x +. y)
+  | Sub, Int x, Float y -> Float (float_of_int x -. y)
+  | Mul, Int x, Float y -> Float (float_of_int x *. y)
+  | Div, Int x, Float y -> if y = 0.0 then Null else Float (float_of_int x /. y)
+  | Add, Float x, Int y -> Float (x +. float_of_int y)
+  | Sub, Float x, Int y -> Float (x -. float_of_int y)
+  | Mul, Float x, Int y -> Float (x *. float_of_int y)
+  | Div, Float _, Int 0 -> Null
+  | Div, Float x, Int y -> Float (x /. float_of_int y)
+  | Add, String x, String y -> String (x ^ y)
+  | _ -> Null
+
+(* Value-level evaluation; predicates become Bool or Null (UNKNOWN). *)
+let rec eval (r : resolved) (t : Tuple.t) : Value.t =
+  match r with
+  | R_col i -> t.(i)
+  | R_lit v -> v
+  | R_cmp (op, a, b) -> (
+      match Value.compare3 (eval a t) (eval b t) with
+      | None -> Value.Null
+      | Some c -> Value.Bool (apply_cmp op c))
+  | R_arith (op, a, b) -> apply_arith op (eval a t) (eval b t)
+  | R_and (a, b) -> (
+      match (eval a t, eval b t) with
+      | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+      | Value.Bool true, Value.Bool true -> Value.Bool true
+      | _ -> Value.Null)
+  | R_or (a, b) -> (
+      match (eval a t, eval b t) with
+      | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+      | Value.Bool false, Value.Bool false -> Value.Bool false
+      | _ -> Value.Null)
+  | R_not e -> (
+      match eval e t with
+      | Value.Bool b -> Value.Bool (not b)
+      | _ -> Value.Null)
+  | R_is_null e -> Value.Bool (Value.is_null (eval e t))
+  | R_is_not_null e -> Value.Bool (not (Value.is_null (eval e t)))
+
+(* WHERE-clause semantics: UNKNOWN filters the row out. *)
+let eval_pred r t = match eval r t with Value.Bool true -> true | _ -> false

@@ -1,0 +1,61 @@
+(** Scalar expressions and predicates with SQL three-valued logic.
+
+    Expressions reference columns by (optional qualifier, name); they are
+    {!resolve}d to tuple positions once per query, then evaluated per
+    tuple. *)
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div
+
+type t =
+  | Col of string option * string
+  | Lit of Value.t
+  | Cmp of cmp * t * t
+  | Arith of arith * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Is_not_null of t
+
+(** {1 Construction helpers} *)
+
+val col : ?qualifier:string -> string -> t
+val int : int -> t
+val str : string -> t
+val eq : t -> t -> t
+val ( &&& ) : t -> t -> t
+
+(** {1 Analysis} *)
+
+val conjuncts : t -> t list
+(** Flattens nested [And]s into a conjunct list. *)
+
+val conjoin : t list -> t
+(** Inverse of {!conjuncts}; [conjoin \[\]] is [TRUE]. *)
+
+val columns : t -> (string option * string) list
+(** All column references, with duplicates. *)
+
+val as_column_equality :
+  t -> ((string option * string) * (string option * string)) option
+(** Recognizes [a.x = b.y], the shape usable by hash joins. *)
+
+val to_sql : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Resolution and evaluation} *)
+
+type resolved
+
+exception Unresolved_column of string
+
+val resolve : (string option * string -> int option) -> t -> resolved
+(** [resolve lookup e] maps every column reference to a tuple position.
+    Raises {!Unresolved_column} when [lookup] returns [None]. *)
+
+val eval : resolved -> Tuple.t -> Value.t
+(** Full evaluation; comparisons involving NULL yield NULL (UNKNOWN). *)
+
+val eval_pred : resolved -> Tuple.t -> bool
+(** WHERE semantics: true iff {!eval} yields [Bool true] (UNKNOWN rejects). *)

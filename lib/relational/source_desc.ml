@@ -1,0 +1,256 @@
+(* Source-description files.
+
+   The paper: "the database constraints are specified in a source
+   description file" (Sec. 3.5).  This module gives that file a concrete
+   syntax and loader: tables with typed columns, keys, foreign keys, and
+   declared inclusion (total-participation) dependencies.
+
+     table Supplier {
+       suppkey   int     key
+       name      string
+       addr      string  null
+       nationkey int     -> Nation.nationkey
+     }
+     inclusion Orders(orderkey) <= LineItem(orderkey)
+
+   Column flags: [key] (part of the primary key), [null] (nullable),
+   [-> Table.column] (single-column foreign key).  Composite foreign
+   keys use a table-level line: [fk (a, b) -> Table(c, d)].
+   Comments start with '#'. *)
+
+exception Syntax_error of string * int (* message, line *)
+
+let fail line fmt =
+  Format.kasprintf (fun m -> raise (Syntax_error (m, line))) fmt
+
+type t = {
+  tables : Schema.table list;
+  inclusions : Schema.inclusion list;
+}
+
+(* --- tokenizing lines --------------------------------------------------- *)
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let ty_of_string line = function
+  | "int" -> Value.TInt
+  | "float" -> Value.TFloat
+  | "string" -> Value.TString
+  | "bool" -> Value.TBool
+  | "date" -> Value.TDate
+  | s -> fail line "unknown type %s" s
+
+(* "Nation.nationkey" -> ("Nation", "nationkey") *)
+let split_ref line s =
+  match String.index_opt s '.' with
+  | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> fail line "expected Table.column, got %s" s
+
+(* "(a,b)" or "(a, b)" -> ["a"; "b"] *)
+let split_cols line s =
+  let s = String.trim s in
+  if String.length s < 2 || s.[0] <> '(' || s.[String.length s - 1] <> ')' then
+    fail line "expected (col, ...), got %s" s
+  else
+    String.sub s 1 (String.length s - 2)
+    |> String.split_on_char ','
+    |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+
+type pstate = {
+  mutable tables_rev : Schema.table list;
+  mutable inclusions_rev : Schema.inclusion list;
+  (* current table under construction *)
+  mutable cur_name : string option;
+  mutable cols_rev : Schema.column list;
+  mutable key_rev : string list;
+  mutable fks_rev : Schema.foreign_key list;
+}
+
+let parse (text : string) : t =
+  let st =
+    { tables_rev = []; inclusions_rev = []; cur_name = None; cols_rev = [];
+      key_rev = []; fks_rev = [] }
+  in
+  let close_table line =
+    match st.cur_name with
+    | None -> fail line "'}' without an open table"
+    | Some name ->
+        let table =
+          Schema.table ~foreign_keys:(List.rev st.fks_rev) name
+            ~key:(List.rev st.key_rev)
+            (List.rev st.cols_rev)
+        in
+        st.tables_rev <- table :: st.tables_rev;
+        st.cur_name <- None;
+        st.cols_rev <- [];
+        st.key_rev <- [];
+        st.fks_rev <- []
+  in
+  let parse_column line ws =
+    match ws with
+    | name :: ty :: flags ->
+        let ty = ty_of_string line ty in
+        let nullable = ref false in
+        let rec go = function
+          | [] -> ()
+          | "key" :: rest ->
+              st.key_rev <- name :: st.key_rev;
+              go rest
+          | "null" :: rest ->
+              nullable := true;
+              go rest
+          | "->" :: target :: rest ->
+              let rt, rc = split_ref line target in
+              st.fks_rev <-
+                { Schema.fk_cols = [ name ]; ref_table = rt; ref_cols = [ rc ] }
+                :: st.fks_rev;
+              go rest
+          | w :: _ -> fail line "unexpected column flag %s" w
+        in
+        go flags;
+        st.cols_rev <- Schema.column ~nullable:!nullable name ty :: st.cols_rev
+    | _ -> fail line "expected: <column> <type> [key] [null] [-> T.c]"
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let s = String.trim (strip_comment raw) in
+      if s = "" then ()
+      else
+        match (st.cur_name, words s) with
+        | None, [ "table"; name; "{" ] -> st.cur_name <- Some name
+        | None, "inclusion" :: rest -> (
+            (* inclusion T(a,b) <= U(c,d) *)
+            match String.concat " " rest |> String.split_on_char '<' with
+            | [ left; right ] when String.length right > 0 && right.[0] = '=' ->
+                let parse_side line side =
+                  let side = String.trim side in
+                  match String.index_opt side '(' with
+                  | Some i ->
+                      let name = String.trim (String.sub side 0 i) in
+                      let cols =
+                        split_cols line
+                          (String.sub side i (String.length side - i))
+                      in
+                      (name, cols)
+                  | None -> fail line "expected T(cols) in inclusion"
+                in
+                let lt, lc = parse_side line left in
+                let rt, rc =
+                  parse_side line (String.sub right 1 (String.length right - 1))
+                in
+                if List.length lc <> List.length rc then
+                  fail line "inclusion arity mismatch";
+                st.inclusions_rev <-
+                  { Schema.inc_table = lt; inc_cols = lc; inc_ref_table = rt;
+                    inc_ref_cols = rc }
+                  :: st.inclusions_rev
+            | _ -> fail line "expected: inclusion T(cols) <= U(cols)")
+        | None, _ -> fail line "expected 'table <name> {' or 'inclusion ...'"
+        | Some _, [ "}" ] -> close_table line
+        | Some _, "fk" :: rest -> (
+            (* fk (a, b) -> Table(c, d) *)
+            match String.concat " " rest |> String.split_on_char '>' with
+            | [ left; right ]
+              when String.length left > 0 && left.[String.length left - 1] = '-' ->
+                let cols =
+                  split_cols line (String.sub left 0 (String.length left - 1))
+                in
+                let right = String.trim right in
+                let i =
+                  match String.index_opt right '(' with
+                  | Some i -> i
+                  | None -> fail line "expected Table(cols) after ->"
+                in
+                let rt = String.trim (String.sub right 0 i) in
+                let rc =
+                  split_cols line (String.sub right i (String.length right - i))
+                in
+                if List.length cols <> List.length rc then
+                  fail line "fk arity mismatch";
+                st.fks_rev <-
+                  { Schema.fk_cols = cols; ref_table = rt; ref_cols = rc }
+                  :: st.fks_rev
+            | _ -> fail line "expected: fk (cols) -> Table(cols)")
+        | Some _, ws -> parse_column line ws)
+    lines;
+  (match st.cur_name with
+  | Some name -> fail (List.length lines) "table %s not closed" name
+  | None -> ());
+  { tables = List.rev st.tables_rev; inclusions = List.rev st.inclusions_rev }
+
+(* Instantiate an empty database from a description. *)
+let to_database (d : t) : Database.t =
+  let db = Database.create () in
+  List.iter (Database.add_table db) d.tables;
+  List.iter (Database.declare_inclusion db) d.inclusions;
+  db
+
+let load_database text = to_database (parse text)
+
+(* Render a description (round-trips through [parse]). *)
+let to_string (d : t) : string =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (t : Schema.table) ->
+      Buffer.add_string buf ("table " ^ t.name ^ " {\n");
+      let single_fks, multi_fks =
+        List.partition
+          (fun (fk : Schema.foreign_key) -> List.length fk.fk_cols = 1)
+          t.foreign_keys
+      in
+      List.iter
+        (fun (c : Schema.column) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s %s%s%s%s\n" c.col_name
+               (match c.col_ty with
+               | Value.TInt -> "int" | Value.TFloat -> "float"
+               | Value.TString -> "string" | Value.TBool -> "bool"
+               | Value.TDate -> "date")
+               (if List.mem c.col_name t.key then " key" else "")
+               (if c.nullable then " null" else "")
+               (match
+                  List.find_opt
+                    (fun (fk : Schema.foreign_key) -> fk.fk_cols = [ c.col_name ])
+                    single_fks
+                with
+               | Some fk ->
+                   Printf.sprintf " -> %s.%s" fk.ref_table (List.hd fk.ref_cols)
+               | None -> "")))
+        t.columns;
+      List.iter
+        (fun (fk : Schema.foreign_key) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  fk (%s) -> %s(%s)\n"
+               (String.concat ", " fk.fk_cols)
+               fk.ref_table
+               (String.concat ", " fk.ref_cols)))
+        multi_fks;
+      Buffer.add_string buf "}\n")
+    d.tables;
+  List.iter
+    (fun (inc : Schema.inclusion) ->
+      Buffer.add_string buf
+        (Printf.sprintf "inclusion %s(%s) <= %s(%s)\n" inc.inc_table
+           (String.concat ", " inc.inc_cols)
+           inc.inc_ref_table
+           (String.concat ", " inc.inc_ref_cols)))
+    d.inclusions;
+  Buffer.contents buf
+
+let of_database (db : Database.t) : t =
+  {
+    tables = List.map (Database.schema db) (Database.table_names db);
+    inclusions = Database.inclusions db;
+  }

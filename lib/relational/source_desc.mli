@@ -1,0 +1,37 @@
+(** Source-description files (paper Sec. 3.5: "the database constraints
+    are specified in a source description file").
+
+    Concrete syntax:
+    {v
+    table Supplier {
+      suppkey   int     key
+      name      string
+      addr      string  null
+      nationkey int     -> Nation.nationkey
+      fk (a, b) -> Other(c, d)        # composite foreign key
+    }
+    inclusion Orders(orderkey) <= LineItem(orderkey)
+    # comments run to end of line
+    v} *)
+
+exception Syntax_error of string * int
+(** Message and 1-based line number. *)
+
+type t = {
+  tables : Schema.table list;
+  inclusions : Schema.inclusion list;
+}
+
+val parse : string -> t
+val to_database : t -> Database.t
+(** Fresh catalog with the tables registered (empty) and inclusions
+    declared. *)
+
+val load_database : string -> Database.t
+(** [to_database (parse text)]. *)
+
+val to_string : t -> string
+(** Renders the description; round-trips through {!parse} (tested). *)
+
+val of_database : Database.t -> t
+(** Extract the description of an existing catalog. *)

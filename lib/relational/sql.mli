@@ -1,0 +1,56 @@
+(** SQL abstract syntax for the middleware dialect.
+
+    Covers exactly what SilkRoute's translator emits (paper Sec. 3.4):
+    SELECT-FROM-WHERE, LEFT OUTER JOIN … ON, derived tables, UNION ALL
+    (the outer union), and a trailing ORDER BY. *)
+
+type dir = Asc | Desc
+type join_kind = Inner | Left_outer
+
+type select_item = { expr : Expr.t; alias : string }
+
+type table_ref =
+  | Table of { name : string; alias : string }
+  | Derived of { query : query; alias : string }
+  | Join of {
+      left : table_ref;
+      kind : join_kind;
+      right : table_ref;
+      on : Expr.t;
+    }
+
+and body = Select of select | Union_all of body * body
+
+and select = {
+  items : select_item list;
+  from : table_ref list;  (** comma list; [[]] is a one-row dual *)
+  where : Expr.t option;
+}
+
+and query = { body : body; order_by : (Expr.t * dir) list }
+
+val item : ?alias:string -> Expr.t -> select_item
+(** Builds a select item; a bare column reference defaults its alias to
+    the column name, anything else requires [?alias]. *)
+
+val select :
+  ?where:Expr.t option ->
+  ?order_by:(Expr.t * dir) list ->
+  select_item list ->
+  table_ref list ->
+  query
+
+val selects_of_body : body -> select list
+(** All SELECT branches of a UNION tree, left to right. *)
+
+val output_columns : query -> string list
+(** Output column names (the aliases of the first branch). *)
+
+val table_ref_aliases : table_ref -> string list
+val select_aliases : select -> string list
+
+val count_outer_joins : query -> int
+(** Number of LEFT OUTER JOINs anywhere in the query (diagnostics). *)
+
+val count_unions : query -> int
+(** Number of UNION ALL nodes anywhere in the query. *)

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for the middleware SQL dialect.
+
+    [parse (Sql_print.to_string q)] reconstructs [q] (structural
+    round-trip, enforced by the test suite). *)
+
+exception Parse_error of string
+
+val parse : string -> Sql.query
+(** Parses a complete query, including an optional leading WITH clause
+    (desugared into derived tables).  Raises {!Parse_error} or
+    {!Sql_lexer.Lex_error} on malformed input. *)

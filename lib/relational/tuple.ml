@@ -1,0 +1,53 @@
+(* Tuples are immutable-by-convention value arrays.  Helpers here are the
+   hot path of joins, sorts and the merge tagger. *)
+
+type t = Value.t array
+
+let arity = Array.length
+
+let concat (a : t) (b : t) : t = Array.append a b
+
+let all_null n : t = Array.make n Value.Null
+
+let project (positions : int array) (t : t) : t =
+  Array.map (fun i -> t.(i)) positions
+
+(* Lexicographic comparison on the given positions, using the total value
+   order (NULL first). *)
+let compare_at (positions : int array) (a : t) (b : t) =
+  let n = Array.length positions in
+  let rec go i =
+    if i >= n then 0
+    else
+      let c = Value.compare_total a.(positions.(i)) b.(positions.(i)) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal_at positions a b = compare_at positions a b = 0
+
+let hash_at (positions : int array) (t : t) =
+  Array.fold_left (fun acc i -> (acc * 31) + Value.hash t.(i)) 17 positions
+
+let compare (a : t) (b : t) =
+  let na = arity a and nb = arity b in
+  let c = Int.compare na nb in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= na then 0
+      else
+        let c = Value.compare_total a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+let wire_size (t : t) =
+  Array.fold_left (fun acc v -> acc + Value.wire_size v) 0 t
+
+let to_string (t : t) =
+  "(" ^ String.concat ", " (Array.to_list (Array.map Value.to_string t)) ^ ")"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,37 @@
+(** Tuples: value arrays with positional helpers.
+
+    These functions are the hot path of joins, sorting and the
+    constant-space merge tagger. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val concat : t -> t -> t
+
+val all_null : int -> t
+(** [all_null n] is the NULL padding tuple of arity [n], used by outer
+    joins and outer unions. *)
+
+val project : int array -> t -> t
+(** [project positions t] keeps the fields of [t] at [positions], in
+    order. *)
+
+val compare_at : int array -> t -> t -> int
+(** Lexicographic comparison restricted to [positions], under the total
+    value order (NULL first). *)
+
+val equal_at : int array -> t -> t -> bool
+
+val hash_at : int array -> t -> int
+(** Hash of the fields at [positions]; consistent with {!equal_at}. *)
+
+val compare : t -> t -> int
+(** Full lexicographic comparison (shorter tuples first). *)
+
+val equal : t -> t -> bool
+
+val wire_size : t -> int
+(** Total bytes in the client-transfer cost model. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

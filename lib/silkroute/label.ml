@@ -1,0 +1,57 @@
+(* Edge multiplicity labeling (paper Sec. 3.5).
+
+   For an edge parent -> child with rules F(x1..xm) :- Qp and
+   G(x1..xm,..,xn) :- Qc:
+
+     C1: the FD  Rc : x1..xm -> xm+1..xn  holds        (child unique per parent)
+     C2: the inclusion  Rp[x1..xm] ⊆ Rc[x1..xm] holds  (child exists per parent)
+
+                 C2        ¬C2
+       C1         1         ?
+       ¬C1        +         *
+
+   C1 is decided by FD closure over the child's body (keys + equalities;
+   inclusion dependencies are not chased — the paper's tractable
+   restriction).  C2 is decided by the conservative chase of
+   Datalog.Contain over NOT NULL foreign keys and declared inclusion
+   dependencies (the "source description"). *)
+
+module R = Relational
+module D = Datalog
+
+let label_edge db (t : View_tree.t) (p, c) : Xmlkit.Dtd.multiplicity =
+  let parent = View_tree.node t p and child = View_tree.node t c in
+  let schema_of name = R.Database.schema db name in
+  let c1 =
+    D.Fd.functionally_determines ~schema_of ~child:child.View_tree.rule
+      parent.View_tree.rule.D.Rule.head_vars
+      child.View_tree.rule.D.Rule.head_vars
+  in
+  let c2 =
+    D.Contain.always_extends ~schema_of ~inclusions:(R.Database.inclusions db)
+      ~parent:parent.View_tree.rule ~child:child.View_tree.rule
+  in
+  match (c1, c2) with
+  | true, true -> Xmlkit.Dtd.One
+  | true, false -> Xmlkit.Dtd.Opt
+  | false, true -> Xmlkit.Dtd.Plus
+  | false, false -> Xmlkit.Dtd.Star
+
+(* Labels for all edges, parallel to [t.edges]. *)
+let label_edges db t : Xmlkit.Dtd.multiplicity array =
+  Array.map (label_edge db t) t.View_tree.edges
+
+let to_string t labels =
+  String.concat "\n"
+    (Array.to_list
+       (Array.mapi
+          (fun i (p, c) ->
+            Printf.sprintf "%s -%s-> %s"
+              (View_tree.skolem_name (View_tree.node t p).View_tree.sfi)
+              (match labels.(i) with
+              | Xmlkit.Dtd.One -> "1"
+              | Xmlkit.Dtd.Opt -> "?"
+              | Xmlkit.Dtd.Plus -> "+"
+              | Xmlkit.Dtd.Star -> "*")
+              (View_tree.skolem_name (View_tree.node t c).View_tree.sfi))
+          t.View_tree.edges))

@@ -1,0 +1,176 @@
+(* The middleware pipeline (paper Fig. 7): RXL view -> view tree ->
+   partition -> SQL texts -> RDBMS -> sorted tuple streams -> merge/tag ->
+   XML.
+
+   Execution goes through the production path end to end: the generated
+   SQL AST is printed to text, re-parsed by the engine's parser, and
+   executed; wall-clock time, deterministic work units and the modeled
+   transfer time are all reported, mirroring the paper's Query time /
+   Total time split. *)
+
+module R = Relational
+
+let src = Logs.Src.create "silkroute" ~doc:"SilkRoute middleware"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type prepared = {
+  db : R.Database.t;
+  view : Rxl.view;
+  tree : View_tree.t;
+  labels : Xmlkit.Dtd.multiplicity array;
+}
+
+let prepare db view =
+  let tree = View_tree.of_view db view in
+  let labels = Label.label_edges db tree in
+  { db; view; tree; labels }
+
+let prepare_text db text = prepare db (Rxl_parser.parse text)
+
+type strategy =
+  | Unified
+  | Fully_partitioned
+  | Edges of int (* partition mask over view-tree edges *)
+  | Greedy of Planner.params
+
+let partition_of p = function
+  | Unified -> Partition.unified p.tree
+  | Fully_partitioned -> Partition.fully_partitioned p.tree
+  | Edges mask -> Partition.of_mask p.tree mask
+  | Greedy params ->
+      let oracle = R.Cost.oracle p.db in
+      let result = Planner.gen_plan p.db oracle p.tree p.labels params in
+      Log.info (fun m -> m "genPlan: %s" (Planner.to_string p.tree result));
+      Planner.best_plan p.tree result
+
+let options_of p ~style ~reduce =
+  { Sql_gen.style; labels = (if reduce then Some p.labels else None) }
+
+(* Result of running one plan. *)
+type execution = {
+  streams : (Sql_gen.stream * R.Relation.t) list;
+  sql_texts : string list;
+  query_wall_ms : float; (* measured engine time *)
+  transfer_ms : float; (* modeled client transfer time *)
+  work : int; (* deterministic engine work units *)
+  tuples : int;
+  bytes : int;
+}
+
+let total_wall_ms e = e.query_wall_ms +. e.transfer_ms
+
+exception Plan_timeout of string
+(* A sub-query exceeded the execution budget (the paper's 5-minute
+   per-query timeout). *)
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let execute ?(style = Sql_gen.Outer_join) ?(reduce = false) ?(budget = 0)
+    ?(profile = R.Executor.default_profile) ?(transfer = R.Transfer.default)
+    ?(sql_syntax = `Derived) (p : prepared) (plan : Partition.t) : execution =
+  let opts = options_of p ~style ~reduce in
+  let streams = Sql_gen.streams p.db p.tree plan opts in
+  let print_sql =
+    match sql_syntax with
+    | `Derived -> R.Sql_print.to_string
+    | `With -> R.Sql_print.to_with_string
+  in
+  let run (s : Sql_gen.stream) =
+    let text = print_sql s.Sql_gen.query in
+    (* round-trip through the SQL text interface, as the middleware does *)
+    let ast = R.Sql_parser.parse text in
+    let t0 = now_ms () in
+    let rel, stats =
+      try R.Executor.run_with_stats ~budget ~profile p.db ast
+      with R.Executor.Timeout -> raise (Plan_timeout text)
+    in
+    let t1 = now_ms () in
+    Log.debug (fun m ->
+        m "stream: %d rows, %d work units, %.1f ms — %s"
+          (R.Relation.cardinality rel) stats.R.Executor.work (t1 -. t0)
+          (if String.length text > 80 then String.sub text 0 80 ^ "…" else text));
+    (text, rel, stats, t1 -. t0)
+  in
+  let results = List.map (fun s -> (s, run s)) streams in
+  let streams_rels = List.map (fun (s, (_, rel, _, _)) -> (s, rel)) results in
+  {
+    streams = streams_rels;
+    sql_texts = List.map (fun (_, (text, _, _, _)) -> text) results;
+    query_wall_ms =
+      List.fold_left (fun acc (_, (_, _, _, ms)) -> acc +. ms) 0.0 results;
+    transfer_ms =
+      R.Transfer.relations_ms transfer (List.map snd streams_rels);
+    work =
+      List.fold_left
+        (fun acc (_, (_, _, (st : R.Executor.stats), _)) -> acc + st.work)
+        0 results;
+    tuples =
+      List.fold_left
+        (fun acc (_, rel) -> acc + R.Relation.cardinality rel)
+        0 streams_rels;
+    bytes =
+      List.fold_left (fun acc (_, rel) -> acc + R.Relation.wire_size rel) 0 streams_rels;
+  }
+
+let document_of p (e : execution) : Xmlkit.Xml.t =
+  Tagger.to_document p.tree e.streams
+
+let xml_string_of p (e : execution) : string =
+  Tagger.to_string p.tree e.streams
+
+(* One-call convenience: materialize the XML view of [db] under
+   [strategy]. *)
+let materialize ?style ?reduce ?budget ?profile ?transfer ?sql_syntax db view
+    strategy : Xmlkit.Xml.t * execution =
+  let p = prepare db view in
+  let plan = partition_of p strategy in
+  let e = execute ?style ?reduce ?budget ?profile ?transfer ?sql_syntax p plan in
+  (document_of p e, e)
+
+(* Ground truth: materialize via naive datalog evaluation of every node
+   rule, bypassing SQL generation entirely.  Used by tests to validate
+   every plan against an independent implementation. *)
+let materialize_naive (p : prepared) : Xmlkit.Xml.t =
+  let plan = Partition.fully_partitioned p.tree in
+  let opts = options_of p ~style:Sql_gen.Outer_union ~reduce:false in
+  let streams = Sql_gen.streams p.db p.tree plan opts in
+  let rels =
+    List.map
+      (fun (s : Sql_gen.stream) ->
+        (* evaluate the node's rule naively, then project and sort into
+           the stream layout *)
+        let frag = s.Sql_gen.fragment in
+        let id = frag.Partition.root in
+        let node = View_tree.node p.tree id in
+        let inst = View_tree.instances p.db p.tree id in
+        let cols = s.Sql_gen.cols in
+        let tuples =
+          List.map
+            (fun row ->
+              Array.map
+                (fun c ->
+                  match c with
+                  | Sql_gen.Level_col j ->
+                      if j <= View_tree.level node then
+                        R.Value.Int (List.nth node.View_tree.sfi (j - 1))
+                      else R.Value.Null
+                  | Sql_gen.Var_col v -> (
+                      match R.Relation.column_index inst v with
+                      | Some i -> row.(i)
+                      | None -> R.Value.Null))
+                cols)
+            (R.Relation.rows inst)
+        in
+        let rel =
+          R.Relation.create (Array.map (fun c ->
+              match c with
+              | Sql_gen.Level_col j -> Printf.sprintf "L%d" j
+              | Sql_gen.Var_col v -> v) cols)
+            tuples
+        in
+        let positions = Array.init (Array.length cols) (fun i -> i) in
+        (s, R.Relation.sort_by positions rel))
+      streams
+  in
+  Tagger.to_document p.tree rels

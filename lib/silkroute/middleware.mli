@@ -1,0 +1,80 @@
+(** The middleware pipeline (paper Fig. 7): RXL view → view tree →
+    partition → SQL texts → RDBMS → sorted tuple streams → merge/tag →
+    XML.
+
+    Execution goes through the production path end to end: the generated
+    SQL is printed to text, re-parsed by the engine, executed, and timed;
+    the result reports wall-clock query time, deterministic work units,
+    and the modeled client-transfer time, mirroring the paper's
+    Query-time / Total-time split. *)
+
+type prepared = {
+  db : Relational.Database.t;
+  view : Rxl.view;
+  tree : View_tree.t;
+  labels : Xmlkit.Dtd.multiplicity array;
+}
+
+val prepare : Relational.Database.t -> Rxl.view -> prepared
+val prepare_text : Relational.Database.t -> string -> prepared
+
+(** How to choose the partition. *)
+type strategy =
+  | Unified  (** one SQL query (all edges kept) *)
+  | Fully_partitioned  (** one SQL query per view-tree node *)
+  | Edges of int  (** explicit edge mask *)
+  | Greedy of Planner.params  (** the paper's plan-generation algorithm *)
+
+val partition_of : prepared -> strategy -> Partition.t
+
+type execution = {
+  streams : (Sql_gen.stream * Relational.Relation.t) list;
+  sql_texts : string list;
+  query_wall_ms : float;  (** measured engine time *)
+  transfer_ms : float;  (** modeled client-transfer time *)
+  work : int;  (** deterministic engine work units *)
+  tuples : int;
+  bytes : int;
+}
+
+val total_wall_ms : execution -> float
+(** query + transfer, the paper's Total time. *)
+
+exception Plan_timeout of string
+(** A sub-query exceeded the work budget (the paper's 5-minute
+    per-query timeout); carries the SQL text. *)
+
+val execute :
+  ?style:Sql_gen.style ->
+  ?reduce:bool ->
+  ?budget:int ->
+  ?profile:Relational.Executor.profile ->
+  ?transfer:Relational.Transfer.config ->
+  ?sql_syntax:[ `Derived | `With ] ->
+  prepared ->
+  Partition.t ->
+  execution
+(** [sql_syntax] selects how derived tables are shipped to the engine:
+    inline subqueries (default) or a WITH clause (the paper's footnote 1
+    alternative); both parse back to the same plan. *)
+
+val document_of : prepared -> execution -> Xmlkit.Xml.t
+val xml_string_of : prepared -> execution -> string
+
+val materialize :
+  ?style:Sql_gen.style ->
+  ?reduce:bool ->
+  ?budget:int ->
+  ?profile:Relational.Executor.profile ->
+  ?transfer:Relational.Transfer.config ->
+  ?sql_syntax:[ `Derived | `With ] ->
+  Relational.Database.t ->
+  Rxl.view ->
+  strategy ->
+  Xmlkit.Xml.t * execution
+(** One-call convenience: prepare, plan, execute, tag. *)
+
+val materialize_naive : prepared -> Xmlkit.Xml.t
+(** Ground truth: materializes the view via naive datalog evaluation of
+    every node rule, bypassing SQL generation.  Tests validate every
+    plan's output against this. *)

@@ -1,0 +1,101 @@
+(* View-tree reduction (paper Sec. 3.5).
+
+   Nodes connected by '1'-labeled edges compute functionally-dependent,
+   always-present queries, so their rules can be combined into one
+   query: the group's SQL fragment selects the member variables in a
+   single (wider) tuple instead of outer-joining per-member branches.
+   Within a partition fragment, reduction collapses the fragment's
+   internal 1-edges; cut edges are untouched (the partition — the number
+   of tuple streams — is preserved, which is how the paper applies
+   reduction to each of the 512 plans). *)
+
+type group = {
+  g_root : int; (* member closest to the view-tree root *)
+  g_members : int list; (* node ids, document order, root first *)
+}
+
+let singleton id = { g_root = id; g_members = [ id ] }
+
+(* Partition a fragment's members into groups.  [labels] is parallel to
+   [tree.edges]; [None] disables reduction (every member is its own
+   group). *)
+let groups_of_fragment (tree : View_tree.t)
+    ~(labels : Xmlkit.Dtd.multiplicity array option)
+    (f : Partition.fragment) : group list =
+  match labels with
+  | None -> List.map singleton f.Partition.members
+  | Some labels ->
+      let label_of =
+        let tbl = Hashtbl.create 16 in
+        Array.iteri
+          (fun i e -> Hashtbl.replace tbl e labels.(i))
+          tree.View_tree.edges;
+        fun e -> Hashtbl.find tbl e
+      in
+      (* union-find over members, restricted to internal 1-edges *)
+      let repr = Hashtbl.create 16 in
+      List.iter (fun m -> Hashtbl.replace repr m m) f.Partition.members;
+      let rec find i =
+        let p = Hashtbl.find repr i in
+        if p = i then i
+        else begin
+          let r = find p in
+          Hashtbl.replace repr i r;
+          r
+        end
+      in
+      List.iter
+        (fun (p, c) ->
+          if label_of (p, c) = Xmlkit.Dtd.One then begin
+            let rp = find p and rc = find c in
+            if rp <> rc then Hashtbl.replace repr (max rp rc) (min rp rc)
+          end)
+        f.Partition.internal_edges;
+      let members_of = Hashtbl.create 8 in
+      List.iter
+        (fun m ->
+          let r = find m in
+          let cur = try Hashtbl.find members_of r with Not_found -> [] in
+          Hashtbl.replace members_of r (m :: cur))
+        (List.rev f.Partition.members);
+      Hashtbl.fold
+        (fun root ms acc -> { g_root = root; g_members = ms } :: acc)
+        members_of []
+      |> List.sort (fun a b -> compare a.g_root b.g_root)
+
+(* Fused children of [m] within its group: group members whose view-tree
+   parent is [m]. *)
+let fused_children tree (g : group) m =
+  List.filter
+    (fun c ->
+      c <> g.g_root && (View_tree.node tree c).View_tree.parent = Some m)
+    g.g_members
+
+(* The group that contains node [id]. *)
+let group_of groups id =
+  List.find (fun g -> List.mem id g.g_members) groups
+
+(* Child groups of group [g]: groups (of the same fragment) whose root's
+   parent is a member of [g]. *)
+let child_groups tree groups g =
+  List.filter
+    (fun cg ->
+      cg.g_root <> g.g_root
+      &&
+      match (View_tree.node tree cg.g_root).View_tree.parent with
+      | Some p -> List.mem p g.g_members
+      | None -> false)
+    groups
+
+let to_string tree groups =
+  String.concat "; "
+    (List.map
+       (fun g ->
+         "{"
+         ^ String.concat ","
+             (List.map
+                (fun m ->
+                  View_tree.skolem_name (View_tree.node tree m).View_tree.sfi)
+                g.g_members)
+         ^ "}")
+       groups)

@@ -1,0 +1,157 @@
+(* RXL (Relational to XML transformation Language) abstract syntax.
+
+   An RXL query combines SQL-style extraction (from/where) with XML-QL
+   style construction (construct).  Features per the paper: nested
+   queries inside construct clauses, parallel blocks (union), and
+   optional explicit Skolem terms on elements. *)
+
+module R = Relational
+
+(* $s iterating over table Supplier. *)
+type binding = { var : string; table : string }
+
+type operand =
+  | Field of string * string (* $s.name *)
+  | Const of R.Value.t
+
+type condition = { op : R.Expr.cmp; left : operand; right : operand }
+
+type node =
+  | Element of element
+  | Text of operand (* character data: a field or a constant *)
+  | Block of query (* nested { from … construct … } sub-query *)
+
+and element = {
+  tag : string;
+  skolem : string option; (* explicit Skolem function name *)
+  content : node list;
+}
+
+and query = {
+  from_ : binding list;
+  where_ : condition list;
+  construct : node list;
+}
+
+(* A view: a literal document root wrapping one or more parallel
+   top-level queries. *)
+type view = { root_tag : string; queries : query list }
+
+let binding var table = { var; table }
+let cond op left right = { op; left; right }
+let field v f = Field (v, f)
+
+let element ?skolem tag content = Element { tag; skolem; content }
+
+let query ?(where_ = []) from_ construct = { from_; where_; construct }
+
+let view root_tag queries = { root_tag; queries }
+
+(* --- well-formedness -------------------------------------------------- *)
+
+exception Ill_formed of string
+
+let ill_formed fmt = Format.kasprintf (fun m -> raise (Ill_formed m)) fmt
+
+(* Check a view against a database schema: bindings name real tables,
+   fields name real columns, conditions and content only reference
+   in-scope tuple variables. *)
+let check (db : R.Database.t) (v : view) =
+  let check_operand scope = function
+    | Const _ -> ()
+    | Field (var, f) -> (
+        match List.assoc_opt var scope with
+        | None -> ill_formed "unbound tuple variable $%s" var
+        | Some table ->
+            if not (R.Schema.has_column (R.Database.schema db table) f) then
+              ill_formed "table %s has no column %s (via $%s.%s)" table f var f)
+  in
+  let rec check_query scope (q : query) =
+    let scope =
+      List.fold_left
+        (fun scope (b : binding) ->
+          if not (R.Database.mem db b.table) then
+            ill_formed "unknown table %s (binding $%s)" b.table b.var;
+          if List.mem_assoc b.var scope then
+            ill_formed "tuple variable $%s shadows an outer binding" b.var;
+          (b.var, b.table) :: scope)
+        scope q.from_
+    in
+    List.iter
+      (fun (c : condition) ->
+        check_operand scope c.left;
+        check_operand scope c.right)
+      q.where_;
+    if q.construct = [] then ill_formed "query has an empty construct clause";
+    (* a construct clause produces elements; character data may only
+       appear inside an element of the same block, otherwise its guard
+       would be lost when hoisting it to the enclosing element *)
+    List.iter
+      (function
+        | Element _ | Block _ -> ()
+        | Text _ ->
+            ill_formed
+              "construct clauses may not produce bare text; wrap it in an \
+               element")
+      q.construct;
+    List.iter (check_node scope) q.construct
+  and check_node scope = function
+    | Element e -> List.iter (check_node scope) e.content
+    | Text op -> check_operand scope op
+    | Block q -> check_query scope q
+  in
+  List.iter (check_query []) v.queries
+
+(* --- printing --------------------------------------------------------- *)
+
+let operand_to_string = function
+  | Field (v, f) -> Printf.sprintf "$%s.%s" v f
+  | Const c -> R.Value.to_sql c
+
+let cmp_to_string = function
+  | R.Expr.Eq -> "=" | R.Expr.Neq -> "<>" | R.Expr.Lt -> "<"
+  | R.Expr.Le -> "<=" | R.Expr.Gt -> ">" | R.Expr.Ge -> ">="
+
+let rec pp_query fmt indent (q : query) =
+  let pad = String.make indent ' ' in
+  Format.fprintf fmt "%sfrom %s@," pad
+    (String.concat ", "
+       (List.map (fun (b : binding) -> b.table ^ " $" ^ b.var) q.from_));
+  (match q.where_ with
+  | [] -> ()
+  | conds ->
+      Format.fprintf fmt "%swhere %s@," pad
+        (String.concat ", "
+           (List.map
+              (fun c ->
+                Printf.sprintf "%s %s %s" (operand_to_string c.left)
+                  (cmp_to_string c.op) (operand_to_string c.right))
+              conds)));
+  Format.fprintf fmt "%sconstruct@," pad;
+  List.iter (pp_node fmt (indent + 2)) q.construct
+
+and pp_node fmt indent = function
+  | Text op ->
+      Format.fprintf fmt "%s%s@," (String.make indent ' ') (operand_to_string op)
+  | Block q ->
+      Format.fprintf fmt "%s{@," (String.make indent ' ');
+      pp_query fmt (indent + 2) q;
+      Format.fprintf fmt "%s}@," (String.make indent ' ')
+  | Element e ->
+      Format.fprintf fmt "%s<%s%s>@,"
+        (String.make indent ' ')
+        e.tag
+        (match e.skolem with None -> "" | Some s -> " skolem=" ^ s);
+      List.iter (pp_node fmt (indent + 2)) e.content;
+      Format.fprintf fmt "%s</%s>@," (String.make indent ' ') e.tag
+
+let to_string (v : view) =
+  Format.asprintf "@[<v>view %s@,%a@]" v.root_tag
+    (fun fmt queries ->
+      List.iter
+        (fun q ->
+          Format.fprintf fmt "{@,";
+          pp_query fmt 2 q;
+          Format.fprintf fmt "}@,")
+        queries)
+    v.queries

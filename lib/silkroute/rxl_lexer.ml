@@ -1,0 +1,156 @@
+(* Tokenizer for RXL concrete syntax.  Element syntax is XML-like but
+   content is restricted to nested elements, nested { blocks }, field
+   references ($s.name) and quoted string constants, so lexing never
+   needs an XML text mode. *)
+
+type token =
+  | IDENT of string
+  | TVAR of string (* $s *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LT (* < *)
+  | GT (* > *)
+  | LTSLASH (* </ *)
+  | COMMA
+  | DOT
+  | EQ
+  | NEQ
+  | LE
+  | GE
+  | EOF
+
+exception Lex_error of string * int
+
+let token_to_string = function
+  | IDENT s -> s
+  | TVAR s -> "$" ^ s
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> "'" ^ s ^ "'"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LT -> "<"
+  | GT -> ">"
+  | LTSLASH -> "</"
+  | COMMA -> ","
+  | DOT -> "."
+  | EQ -> "="
+  | NEQ -> "<>"
+  | LE -> "<="
+  | GE -> ">="
+  | EOF -> "<eof>"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (s : string) : token array =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  let peek k = if !i + k < n then Some s.[!i + k] else None in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && peek 1 = Some '-' then
+      (* line comment *)
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      push (IDENT (String.sub s start (!i - start)))
+    end
+    else if c = '$' then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      if !i = start then raise (Lex_error ("expected variable name after $", !i));
+      push (TVAR (String.sub s start (!i - start)))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit s.[!i] do
+        incr i
+      done;
+      (* a dot only joins the number when followed by a digit; otherwise
+         it is field syntax *)
+      let saw_dot =
+        !i + 1 < n && s.[!i] = '.' && is_digit s.[!i + 1]
+      in
+      if saw_dot then begin
+        incr i;
+        while !i < n && is_digit s.[!i] do
+          incr i
+        done
+      end;
+      let text = String.sub s start (!i - start) in
+      if saw_dot then push (FLOAT (float_of_string text))
+      else push (INT (int_of_string text))
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then raise (Lex_error ("unterminated string literal", !i));
+        if s.[!i] = '\'' then
+          if peek 1 = Some '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done;
+      push (STRING (Buffer.contents buf))
+    end
+    else begin
+      (match c with
+      | '{' -> push LBRACE
+      | '}' -> push RBRACE
+      | ',' -> push COMMA
+      | '.' -> push DOT
+      | '=' -> push EQ
+      | '<' ->
+          if peek 1 = Some '/' then begin
+            push LTSLASH;
+            incr i
+          end
+          else if peek 1 = Some '>' then begin
+            push NEQ;
+            incr i
+          end
+          else if peek 1 = Some '=' then begin
+            push LE;
+            incr i
+          end
+          else push LT
+      | '>' ->
+          if peek 1 = Some '=' then begin
+            push GE;
+            incr i
+          end
+          else push GT
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !i)));
+      incr i
+    end
+  done;
+  push EOF;
+  Array.of_list (List.rev !toks)

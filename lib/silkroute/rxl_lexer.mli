@@ -1,0 +1,31 @@
+(** Tokenizer for RXL concrete syntax.
+
+    Element syntax is XML-like, but element content is restricted to
+    nested elements, nested blocks, [$var.field] references and quoted
+    string constants, so no XML text mode is needed.  [--] starts a line
+    comment. *)
+
+type token =
+  | IDENT of string
+  | TVAR of string  (** [$s] *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LT
+  | GT
+  | LTSLASH  (** [</] *)
+  | COMMA
+  | DOT
+  | EQ
+  | NEQ
+  | LE
+  | GE
+  | EOF
+
+exception Lex_error of string * int
+(** Message and byte offset. *)
+
+val token_to_string : token -> string
+val tokenize : string -> token array

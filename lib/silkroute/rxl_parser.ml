@@ -1,0 +1,194 @@
+(* Recursive-descent parser for RXL concrete syntax.
+
+   view       := 'view' IDENT block+
+   block      := '{' query '}'
+   query      := 'from' binding {',' binding}
+                 ['where' cond {',' cond}]
+                 'construct' node+
+   binding    := IDENT TVAR
+   cond       := operand cmp operand
+   operand    := TVAR '.' IDENT | literal
+   node       := element | block | operand
+   element    := '<' IDENT ['skolem' '=' IDENT] '>' node* '</' IDENT '>'
+
+   Round-trips with Rxl.to_string (tested). *)
+
+open Rxl_lexer
+
+exception Parse_error of string
+
+type state = { toks : token array; mutable pos : int }
+
+let fail st msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "%s at token %d (%s)" msg st.pos
+          (token_to_string st.toks.(min st.pos (Array.length st.toks - 1)))))
+
+let peek st = st.toks.(st.pos)
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1) else EOF
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st t =
+  if peek st = t then advance st
+  else fail st (Printf.sprintf "expected %s" (token_to_string t))
+
+let is_kw st k = match peek st with IDENT s -> s = k | _ -> false
+
+let eat_kw st k =
+  if is_kw st k then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_kw st k = if not (eat_kw st k) then fail st ("expected '" ^ k ^ "'")
+
+let ident st =
+  match peek st with
+  | IDENT s ->
+      advance st;
+      s
+  | _ -> fail st "expected identifier"
+
+let parse_operand st : Rxl.operand =
+  match peek st with
+  | TVAR v ->
+      advance st;
+      expect st DOT;
+      let f = ident st in
+      Rxl.Field (v, f)
+  | INT n ->
+      advance st;
+      Rxl.Const (Relational.Value.Int n)
+  | FLOAT f ->
+      advance st;
+      Rxl.Const (Relational.Value.Float f)
+  | STRING s ->
+      advance st;
+      Rxl.Const (Relational.Value.String s)
+  | _ -> fail st "expected $var.field or literal"
+
+let parse_cmp st : Relational.Expr.cmp =
+  match peek st with
+  | EQ ->
+      advance st;
+      Relational.Expr.Eq
+  | NEQ ->
+      advance st;
+      Relational.Expr.Neq
+  | LT ->
+      advance st;
+      Relational.Expr.Lt
+  | LE ->
+      advance st;
+      Relational.Expr.Le
+  | GT ->
+      advance st;
+      Relational.Expr.Gt
+  | GE ->
+      advance st;
+      Relational.Expr.Ge
+  | _ -> fail st "expected comparison operator"
+
+let rec parse_query st : Rxl.query =
+  expect_kw st "from";
+  let rec bindings acc =
+    let table = ident st in
+    let var =
+      match peek st with
+      | TVAR v ->
+          advance st;
+          v
+      | _ -> fail st "expected tuple variable"
+    in
+    let acc = Rxl.binding var table :: acc in
+    if peek st = COMMA then begin
+      advance st;
+      bindings acc
+    end
+    else List.rev acc
+  in
+  let from_ = bindings [] in
+  let where_ =
+    if eat_kw st "where" then begin
+      let rec conds acc =
+        let left = parse_operand st in
+        let op = parse_cmp st in
+        let right = parse_operand st in
+        let acc = Rxl.cond op left right :: acc in
+        if peek st = COMMA then begin
+          advance st;
+          conds acc
+        end
+        else List.rev acc
+      in
+      conds []
+    end
+    else []
+  in
+  expect_kw st "construct";
+  let construct = parse_nodes st in
+  if construct = [] then fail st "construct clause needs at least one node";
+  { Rxl.from_; where_; construct }
+
+and parse_nodes st : Rxl.node list =
+  let rec go acc =
+    match peek st with
+    | LT -> go (parse_element st :: acc)
+    | LBRACE ->
+        advance st;
+        let q = parse_query st in
+        expect st RBRACE;
+        go (Rxl.Block q :: acc)
+    | TVAR _ | INT _ | FLOAT _ | STRING _ ->
+        go (Rxl.Text (parse_operand st) :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+and parse_element st : Rxl.node =
+  expect st LT;
+  let tag = ident st in
+  let skolem =
+    if is_kw st "skolem" && peek2 st = EQ then begin
+      advance st;
+      advance st;
+      Some (ident st)
+    end
+    else None
+  in
+  expect st GT;
+  let content = parse_nodes st in
+  expect st LTSLASH;
+  let closing = ident st in
+  if closing <> tag then
+    fail st (Printf.sprintf "mismatched </%s>, expected </%s>" closing tag);
+  expect st GT;
+  Rxl.Element { tag; skolem; content }
+
+let parse_view st : Rxl.view =
+  expect_kw st "view";
+  let root_tag = ident st in
+  let rec blocks acc =
+    if peek st = LBRACE then begin
+      advance st;
+      let q = parse_query st in
+      expect st RBRACE;
+      blocks (q :: acc)
+    end
+    else List.rev acc
+  in
+  let queries = blocks [] in
+  if queries = [] then fail st "view needs at least one { query } block";
+  { Rxl.root_tag; queries }
+
+let parse (text : string) : Rxl.view =
+  let toks = tokenize text in
+  let st = { toks; pos = 0 } in
+  let v = parse_view st in
+  if peek st <> EOF then fail st "trailing input";
+  v

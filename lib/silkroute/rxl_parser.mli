@@ -1,0 +1,17 @@
+(** Parser for RXL concrete syntax.
+
+    Grammar (round-trips with {!Rxl.to_string}):
+    {v
+    view    := 'view' IDENT block+
+    block   := '{' query '}'
+    query   := 'from' binding {',' binding}
+               ['where' cond {',' cond}] 'construct' node+
+    binding := TABLE $var
+    node    := element | block | $var.field | literal
+    element := '<' tag ['skolem' '=' name] '>' node* '</' tag '>'
+    v} *)
+
+exception Parse_error of string
+
+val parse : string -> Rxl.view
+(** Raises {!Parse_error} or {!Rxl_lexer.Lex_error} on malformed input. *)

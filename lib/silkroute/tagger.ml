@@ -1,0 +1,401 @@
+(* The XML tagger (paper Sec. 3.3).
+
+   Merges the sorted tuple streams of a plan's fragments into one stream
+   (under the view tree's global sort-attribute order), re-nests the
+   tuples and emits tags.  The pass is single-scan: memory is bounded by
+   the view-tree depth and the per-element pending list (text payloads
+   and reduction-fused children awaiting their document position), never
+   by the database size.
+
+   Each tuple denotes a path of node instances: its L columns spell the
+   Skolem-function-index prefix, its variable columns carry the Skolem
+   term values.  The tagger keeps a stack of open elements; a tuple
+   closes elements up to the deepest ancestor it shares with the stack
+   and opens the remainder of its path.  Text contents and fused children
+   are held per open element as pending items ordered by their sibling
+   index and flushed when a later sibling arrives or the element
+   closes. *)
+
+module R = Relational
+
+type sink = {
+  on_open : string -> unit;
+  on_text : string -> unit;
+  on_close : string -> unit;
+}
+
+(* --- pending items ----------------------------------------------------- *)
+
+type pending_item = { index : int; payload : payload }
+
+and payload =
+  | Text_payload of string
+  | Fused_payload of fused_elem
+
+and fused_elem = { fnode : int; mutable fpending : pending_item list }
+
+type open_elem = {
+  o_node : int;
+  o_identity : R.Value.t list; (* key-var values, in key_vars order *)
+  mutable o_pending : pending_item list; (* sorted by index *)
+}
+
+let value_text v = if R.Value.is_null v then "" else R.Value.to_string v
+
+(* Emit a fused element and everything pending inside it. *)
+let rec emit_fused tree sink (f : fused_elem) =
+  let n = View_tree.node tree f.fnode in
+  sink.on_open n.View_tree.tag;
+  List.iter (fun item -> emit_payload tree sink item.payload) f.fpending;
+  f.fpending <- [];
+  sink.on_close n.View_tree.tag
+
+and emit_payload tree sink = function
+  | Text_payload s -> sink.on_text s
+  | Fused_payload f -> emit_fused tree sink f
+
+(* Flush pending items with index < threshold (all if None). *)
+let flush_pending tree sink (e : open_elem) threshold =
+  let flush, keep =
+    List.partition
+      (fun item ->
+        match threshold with None -> true | Some t -> item.index < t)
+      e.o_pending
+  in
+  List.iter (fun item -> emit_payload tree sink item.payload) flush;
+  e.o_pending <- keep
+
+(* --- streams ------------------------------------------------------------ *)
+
+type stream_state = {
+  desc : Sql_gen.stream;
+  mutable rows : R.Tuple.t list;
+  level_idx : int array; (* per level 1..max: column index or -1 *)
+  var_idx : (string * int) list; (* variable -> column index *)
+  member_set : int list;
+}
+
+let build_stream_state tree (desc : Sql_gen.stream) (rel : R.Relation.t) :
+    stream_state =
+  let cols = desc.Sql_gen.cols in
+  let find_col k =
+    let rec go i =
+      if i >= Array.length cols then -1
+      else if cols.(i) = k then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let max_level =
+    Array.fold_left
+      (fun m n -> max m (View_tree.level n))
+      0 tree.View_tree.nodes
+  in
+  let level_idx =
+    Array.init (max_level + 1) (fun j ->
+        if j = 0 then -1 else find_col (Sql_gen.Level_col j))
+  in
+  let var_idx =
+    Array.to_list cols
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter_map (fun (i, c) ->
+           match c with Sql_gen.Var_col v -> Some (v, i) | _ -> None)
+  in
+  if Array.length (R.Relation.cols rel) <> Array.length cols then
+    invalid_arg "Tagger: relation arity does not match stream descriptor";
+  {
+    desc;
+    rows = R.Relation.rows rel;
+    level_idx;
+    var_idx;
+    member_set = desc.Sql_gen.fragment.Partition.members;
+  }
+
+let head_value st (t : R.Tuple.t) v =
+  match List.assoc_opt v st.var_idx with
+  | Some i -> t.(i)
+  | None -> R.Value.Null
+
+let level_value st (t : R.Tuple.t) j =
+  if j >= Array.length st.level_idx then R.Value.Null
+  else
+    let idx = st.level_idx.(j) in
+    if idx < 0 then R.Value.Null else t.(idx)
+
+(* Hierarchical merge comparator: at each level compare the L component,
+   then — only when the components agree — the key variables of that path
+   node.  Key variables of sibling nodes never participate, so streams
+   that do not carry them (they would read NULL) cannot be mis-ordered
+   against streams that do.  A tuple whose path is a prefix of another's
+   sorts first (parent rows precede child rows). *)
+let compare_heads child_by_component tree sa ta sb tb =
+  let rec go parent j =
+    let la = level_value sa ta j and lb = level_value sb tb j in
+    match (la, lb) with
+    | R.Value.Null, R.Value.Null -> 0
+    | _ ->
+        let c = R.Value.compare_total la lb in
+        if c <> 0 then c
+        else
+          (* equal non-null component: same node *)
+          let comp = match la with R.Value.Int k -> k | _ -> -1 in
+          (match Hashtbl.find_opt child_by_component (parent, comp) with
+          | None -> 0
+          | Some id ->
+              let n = View_tree.node tree id in
+              let rec keys = function
+                | [] -> go id (j + 1)
+                | v :: rest ->
+                    let c =
+                      R.Value.compare_total (head_value sa ta v)
+                        (head_value sb tb v)
+                    in
+                    if c <> 0 then c else keys rest
+              in
+              keys n.View_tree.key_vars)
+  in
+  go (-1) 1
+
+(* --- per-tuple processing ----------------------------------------------- *)
+
+type ctx = {
+  tree : View_tree.t;
+  sink : sink;
+  child_by_component : (int * int, int) Hashtbl.t; (* (parent|-1, comp) -> id *)
+  mutable stack : open_elem list; (* innermost first *)
+}
+
+let make_ctx tree sink =
+  let child_by_component = Hashtbl.create 32 in
+  Array.iter
+    (fun (n : View_tree.node) ->
+      let comp = List.nth n.View_tree.sfi (List.length n.View_tree.sfi - 1) in
+      let parent = match n.View_tree.parent with Some p -> p | None -> -1 in
+      Hashtbl.replace child_by_component (parent, comp) n.View_tree.id)
+    tree.View_tree.nodes;
+  { tree; sink; child_by_component; stack = [] }
+
+(* The node-id path denoted by a tuple (L columns until NULL/absent). *)
+let path_of ctx st (t : R.Tuple.t) : int list =
+  let rec go parent j acc =
+    if j >= Array.length st.level_idx then List.rev acc
+    else
+      let idx = st.level_idx.(j) in
+      if idx < 0 then List.rev acc
+      else
+        match t.(idx) with
+        | R.Value.Int comp -> (
+            match Hashtbl.find_opt ctx.child_by_component (parent, comp) with
+            | Some id -> go id (j + 1) (id :: acc)
+            | None -> List.rev acc)
+        | _ -> List.rev acc
+  in
+  go (-1) 1 []
+
+let identity_of st t (n : View_tree.node) =
+  List.map (fun v -> head_value st t v) n.View_tree.key_vars
+
+let close_one ctx =
+  match ctx.stack with
+  | [] -> ()
+  | e :: rest ->
+      flush_pending ctx.tree ctx.sink e None;
+      ctx.sink.on_close (View_tree.node ctx.tree e.o_node).View_tree.tag;
+      ctx.stack <- rest
+
+let rec close_to_depth ctx depth =
+  if List.length ctx.stack > depth then begin
+    close_one ctx;
+    close_to_depth ctx depth
+  end
+
+(* Build the pending list for a freshly opened element instance of node
+   [id], using the current tuple when the element belongs to this
+   stream's fragment: its text contents plus fused children (from the
+   stream's reduction groups), recursively. *)
+let initial_pending tree st t id : pending_item list =
+  if not (List.mem id st.member_set) then []
+  else
+    let group =
+      try Some (Reduce.group_of st.desc.Sql_gen.groups id) with Not_found -> None
+    in
+    let rec build id =
+      let n = View_tree.node tree id in
+      let texts =
+        List.map
+          (fun (index, c) ->
+            let s =
+              match c with
+              | View_tree.Content_const v -> value_text v
+              | View_tree.Content_var v -> value_text (head_value st t v)
+            in
+            { index; payload = Text_payload s })
+          n.View_tree.contents
+      in
+      let fused =
+        match group with
+        | None -> []
+        | Some g ->
+            List.map
+              (fun m ->
+                let mn = View_tree.node tree m in
+                {
+                  index = mn.View_tree.sibling_index;
+                  payload = Fused_payload { fnode = m; fpending = build m };
+                })
+              (Reduce.fused_children tree g id)
+      in
+      List.sort (fun a b -> compare a.index b.index) (texts @ fused)
+    in
+    build id
+
+(* Open element [id] under the current stack top. *)
+let open_element ctx st t id =
+  let n = View_tree.node ctx.tree id in
+  (* flush earlier-sibling pendings of the parent *)
+  (match ctx.stack with
+  | parent :: _ ->
+      flush_pending ctx.tree ctx.sink parent (Some n.View_tree.sibling_index)
+  | [] -> ());
+  (* if this node is pending in the parent as a fused child (its data
+     rode in on an earlier group tuple), adopt that payload *)
+  let adopted =
+    match ctx.stack with
+    | parent :: _ ->
+        let found = ref None in
+        parent.o_pending <-
+          List.filter
+            (fun item ->
+              match item.payload with
+              | Fused_payload f when f.fnode = id && !found = None ->
+                  found := Some f;
+                  false
+              | _ -> true)
+            parent.o_pending;
+        !found
+    | [] -> None
+  in
+  let pending =
+    match adopted with
+    | Some f -> f.fpending
+    | None -> initial_pending ctx.tree st t id
+  in
+  ctx.sink.on_open n.View_tree.tag;
+  ctx.stack <-
+    { o_node = id; o_identity = identity_of st t n; o_pending = pending }
+    :: ctx.stack
+
+let process_tuple ctx st (t : R.Tuple.t) =
+  let path = path_of ctx st t in
+  (* find the depth up to which the stack matches the path *)
+  let stack_rev = List.rev ctx.stack in
+  let rec common depth stack path =
+    match (stack, path) with
+    | e :: srest, id :: prest
+      when e.o_node = id
+           && List.for_all2 R.Value.equal e.o_identity
+                (identity_of st t (View_tree.node ctx.tree id)) ->
+        common (depth + 1) srest prest
+    | _ -> (depth, path)
+  in
+  let depth, to_open = common 0 stack_rev path in
+  close_to_depth ctx depth;
+  List.iter (fun id -> open_element ctx st t id) to_open
+
+(* --- driver -------------------------------------------------------------- *)
+
+let tag tree (streams : (Sql_gen.stream * R.Relation.t) list) (sink : sink) :
+    unit =
+  let states =
+    List.map (fun (d, r) -> build_stream_state tree d r) streams
+  in
+  let ctx = make_ctx tree sink in
+  sink.on_open tree.View_tree.root_tag;
+  let rec loop () =
+    (* pick the stream with the smallest head tuple *)
+    let best =
+      List.fold_left
+        (fun best st ->
+          match (st.rows, best) with
+          | [], _ -> best
+          | t :: _, None -> Some (st, t)
+          | t :: _, Some (bst, bt) ->
+              if compare_heads ctx.child_by_component tree st t bst bt < 0 then
+                Some (st, t)
+              else best)
+        None states
+    in
+    match best with
+    | None -> ()
+    | Some (st, t) ->
+        st.rows <- List.tl st.rows;
+        process_tuple ctx st t;
+        loop ()
+  in
+  loop ();
+  close_to_depth ctx 0;
+  sink.on_close tree.View_tree.root_tag
+
+(* Sink building an in-memory document (tests, validation). *)
+let document_sink () =
+  let stack : (string * Xmlkit.Xml.node list ref) list ref = ref [] in
+  let result = ref None in
+  let sink =
+    {
+      on_open = (fun tag -> stack := (tag, ref []) :: !stack);
+      on_text =
+        (fun s ->
+          match !stack with
+          | (_, children) :: _ ->
+              if s <> "" then children := Xmlkit.Xml.Text s :: !children
+          | [] -> invalid_arg "Tagger: text outside any element");
+      on_close =
+        (fun tag ->
+          match !stack with
+          | (tag', children) :: rest ->
+              if tag <> tag' then
+                invalid_arg
+                  (Printf.sprintf "Tagger: closing <%s>, open is <%s>" tag tag');
+              let el = Xmlkit.Xml.element tag (List.rev !children) in
+              (match rest with
+              | (_, pchildren) :: _ ->
+                  pchildren := Xmlkit.Xml.Element el :: !pchildren;
+                  stack := rest
+              | [] ->
+                  result := Some el;
+                  stack := [])
+          | [] -> invalid_arg "Tagger: close without open");
+    }
+  in
+  let get () =
+    match !result with
+    | Some el -> Xmlkit.Xml.document el
+    | None -> invalid_arg "Tagger: no document produced"
+  in
+  (sink, get)
+
+let to_document tree streams : Xmlkit.Xml.t =
+  let sink, get = document_sink () in
+  tag tree streams sink;
+  get ()
+
+(* Sink serializing directly to a buffer: the constant-space path. *)
+let buffer_sink buf =
+  {
+    on_open =
+      (fun tag ->
+        Buffer.add_char buf '<';
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>');
+    on_text = (fun s -> Buffer.add_string buf (Xmlkit.Serialize.escape s));
+    on_close =
+      (fun tag ->
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>');
+  }
+
+let to_string tree streams : string =
+  let buf = Buffer.create 4096 in
+  tag tree streams (buffer_sink buf);
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** The XML tagger (paper Sec. 3.3).
+
+    Merges the sorted tuple streams of a plan's fragments under the view
+    tree's global sort-attribute order, re-nests tuples and emits tags in
+    a single pass.  Memory is bounded by the view-tree size (open-element
+    stack plus pending text/fused payloads per element), not by the
+    database size. *)
+
+(** Event consumer.  {!buffer_sink} serializes directly (the
+    constant-space path); {!document_sink} builds an in-memory tree for
+    validation and tests. *)
+type sink = {
+  on_open : string -> unit;
+  on_text : string -> unit;
+  on_close : string -> unit;
+}
+
+val tag :
+  View_tree.t ->
+  (Sql_gen.stream * Relational.Relation.t) list ->
+  sink ->
+  unit
+(** Merge-and-tag.  Each relation must be the result of its stream's
+    query (sorted by the stream's ORDER BY). *)
+
+val document_sink : unit -> sink * (unit -> Xmlkit.Xml.t)
+val buffer_sink : Buffer.t -> sink
+
+val to_document :
+  View_tree.t -> (Sql_gen.stream * Relational.Relation.t) list -> Xmlkit.Xml.t
+
+val to_string :
+  View_tree.t -> (Sql_gen.stream * Relational.Relation.t) list -> string

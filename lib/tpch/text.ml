@@ -1,0 +1,82 @@
+(* Word corpus for generated names, in the spirit of TPC-H dbgen's
+   grammar-based text.  Part names follow dbgen's finish+material pattern
+   ("plated brass", "anodized steel" — the paper's Fig. 8 uses exactly
+   these). *)
+
+let finishes =
+  [|
+    "plated"; "anodized"; "polished"; "burnished"; "brushed"; "lacquered";
+    "galvanized"; "tempered"; "forged"; "machined";
+  |]
+
+let materials =
+  [|
+    "brass"; "steel"; "nickel"; "copper"; "tin"; "zinc"; "chrome"; "cobalt";
+    "titanium"; "aluminum"; "bronze"; "pewter";
+  |]
+
+let sizes = [| "S"; "M"; "L"; "XL" |]
+
+let company_suffixes =
+  [| "Metalworks"; "Foundry"; "Industries"; "Supply"; "Works"; "Forge" |]
+
+let given_names =
+  [|
+    "Acme"; "Apex"; "Global"; "United"; "Pacific"; "Atlantic"; "Northern";
+    "Southern"; "Eastern"; "Western"; "Summit"; "Pioneer"; "Sterling";
+    "Imperial"; "Crescent"; "Meridian";
+  |]
+
+let streets =
+  [|
+    "Main St"; "Oak Ave"; "Harbor Rd"; "Mill Ln"; "Foundry Way"; "Dock St";
+    "Union Sq"; "Market St"; "Iron Rd"; "Anchor Blvd";
+  |]
+
+let nations_pool =
+  [|
+    ("USA", 0); ("Spain", 1); ("France", 1); ("Japan", 2); ("Brazil", 3);
+    ("Canada", 0); ("Germany", 1); ("India", 2); ("China", 2); ("Egypt", 4);
+    ("Kenya", 4); ("Mexico", 0); ("Italy", 1); ("Russia", 1); ("Peru", 3);
+    ("Argentina", 3); ("Australia", 2); ("Morocco", 4); ("UK", 1);
+    ("Indonesia", 2); ("Jordan", 4); ("Iran", 4); ("Vietnam", 2);
+    ("Romania", 1); ("Algeria", 4);
+  |]
+
+let regions_pool =
+  [| "America"; "Europe"; "Asia"; "South America"; "Africa" |]
+
+let customer_first =
+  [|
+    "Alice"; "Bob"; "Carla"; "Dmitri"; "Elena"; "Farid"; "Grace"; "Hiro";
+    "Ines"; "Jorge"; "Kavya"; "Liang"; "Marta"; "Nadia"; "Omar"; "Priya";
+  |]
+
+let customer_last =
+  [|
+    "Anderson"; "Baptiste"; "Chen"; "Dupont"; "Eriksen"; "Fischer"; "Garcia";
+    "Hansen"; "Ito"; "Johansson"; "Kumar"; "Lopez"; "Moreau"; "Novak";
+    "Okafor"; "Petrov";
+  |]
+
+let part_name rng =
+  Rng.pick rng finishes ^ " " ^ Rng.pick rng materials
+
+let supplier_name rng =
+  Rng.pick rng given_names ^ " " ^ Rng.pick rng company_suffixes
+
+let customer_name rng =
+  Rng.pick rng customer_first ^ " " ^ Rng.pick rng customer_last
+
+let address rng =
+  Printf.sprintf "%d %s" (Rng.range rng 1 999) (Rng.pick rng streets)
+
+let phone rng =
+  Printf.sprintf "%02d-%03d-%03d-%04d" (Rng.range rng 10 34)
+    (Rng.range rng 100 999) (Rng.range rng 100 999) (Rng.range rng 1000 9999)
+
+let brand rng = Printf.sprintf "Brand#%d%d" (Rng.range rng 1 5) (Rng.range rng 1 5)
+
+let manufacturer rng = Printf.sprintf "Manufacturer#%d" (Rng.range rng 1 5)
+
+let size rng = Rng.pick rng sizes

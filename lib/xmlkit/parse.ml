@@ -1,0 +1,147 @@
+(* A small, strict XML parser covering the documents this system emits:
+   elements, attributes, character data, the five standard entities, and
+   self-closing tags.  No comments, PIs, CDATA or doctypes — enough to
+   round-trip Serialize output, which the tests enforce. *)
+
+exception Parse_error of string * int (* message, offset *)
+
+type state = { s : string; mutable i : int }
+
+let fail st msg = raise (Parse_error (msg, st.i))
+
+let peek st = if st.i < String.length st.s then Some st.s.[st.i] else None
+
+let skip_ws st =
+  while
+    st.i < String.length st.s
+    && (match st.s.[st.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.i <- st.i + 1
+  done
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let read_name st =
+  let start = st.i in
+  while st.i < String.length st.s && is_name_char st.s.[st.i] do
+    st.i <- st.i + 1
+  done;
+  if st.i = start then fail st "expected name";
+  String.sub st.s start (st.i - start)
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.i <- st.i + 1
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let read_entity st =
+  (* at '&' *)
+  st.i <- st.i + 1;
+  let start = st.i in
+  while st.i < String.length st.s && st.s.[st.i] <> ';' do
+    st.i <- st.i + 1
+  done;
+  if st.i >= String.length st.s then fail st "unterminated entity";
+  let name = String.sub st.s start (st.i - start) in
+  st.i <- st.i + 1;
+  match name with
+  | "lt" -> '<'
+  | "gt" -> '>'
+  | "amp" -> '&'
+  | "apos" -> '\''
+  | "quot" -> '"'
+  | _ -> fail st (Printf.sprintf "unknown entity &%s;" name)
+
+let read_text st =
+  let buf = Buffer.create 16 in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | None | Some '<' -> continue := false
+    | Some '&' -> Buffer.add_char buf (read_entity st)
+    | Some c ->
+        Buffer.add_char buf c;
+        st.i <- st.i + 1
+  done;
+  Buffer.contents buf
+
+let read_attr_value st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | None -> fail st "unterminated attribute value"
+    | Some '"' ->
+        st.i <- st.i + 1;
+        continue := false
+    | Some '&' -> Buffer.add_char buf (read_entity st)
+    | Some c ->
+        Buffer.add_char buf c;
+        st.i <- st.i + 1
+  done;
+  Buffer.contents buf
+
+let rec read_element st : Xml.element =
+  expect st '<';
+  let tag = read_name st in
+  let attrs = read_attrs st [] in
+  match peek st with
+  | Some '/' ->
+      st.i <- st.i + 1;
+      expect st '>';
+      Xml.element ~attrs tag []
+  | Some '>' ->
+      st.i <- st.i + 1;
+      let children = read_children st tag [] in
+      Xml.element ~attrs tag children
+  | _ -> fail st "expected > or />"
+
+and read_attrs st acc =
+  skip_ws st;
+  match peek st with
+  | Some c when is_name_char c ->
+      let name = read_name st in
+      expect st '=';
+      let v = read_attr_value st in
+      read_attrs st ((name, v) :: acc)
+  | _ -> List.rev acc
+
+and read_children st tag acc =
+  match peek st with
+  | None -> fail st (Printf.sprintf "unterminated element <%s>" tag)
+  | Some '<' ->
+      if st.i + 1 < String.length st.s && st.s.[st.i + 1] = '/' then begin
+        st.i <- st.i + 2;
+        let name = read_name st in
+        if name <> tag then
+          fail st (Printf.sprintf "mismatched </%s>, expected </%s>" name tag);
+        expect st '>';
+        List.rev acc
+      end
+      else
+        let child = read_element st in
+        read_children st tag (Xml.Element child :: acc)
+  | Some _ ->
+      let text = read_text st in
+      let acc = if text = "" then acc else Xml.Text text :: acc in
+      read_children st tag acc
+
+let parse (s : string) : Xml.t =
+  let st = { s; i = 0 } in
+  skip_ws st;
+  (* optional XML declaration *)
+  if st.i + 1 < String.length s && s.[st.i] = '<' && s.[st.i + 1] = '?' then begin
+    match String.index_from_opt s st.i '>' with
+    | Some j -> st.i <- j + 1
+    | None -> fail st "unterminated XML declaration"
+  end;
+  skip_ws st;
+  let root = read_element st in
+  skip_ws st;
+  if st.i <> String.length s then fail st "trailing content after root";
+  Xml.document root

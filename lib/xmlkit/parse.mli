@@ -1,0 +1,12 @@
+(** A small, strict XML parser.
+
+    Covers the documents this system emits: elements, attributes,
+    character data, the five standard entities, self-closing tags, and an
+    optional XML declaration.  [parse (Serialize.to_string doc)]
+    reconstructs [doc] up to whitespace-only text nodes (round-trip is
+    enforced by the test suite). *)
+
+exception Parse_error of string * int
+(** Message and byte offset. *)
+
+val parse : string -> Xml.t

@@ -1,0 +1,81 @@
+(* DTD validation.  Children are matched sequentially against the
+   declared (name, multiplicity) specs; because the DTD shapes we accept
+   are sequences of distinct names, greedy run-matching is exact. *)
+
+type error = { path : string; message : string }
+
+let error path fmt = Format.kasprintf (fun message -> { path; message }) fmt
+
+let pp_error fmt e = Format.fprintf fmt "%s: %s" e.path e.message
+
+let rec check_element dtd path (e : Xml.element) errors =
+  let path = path ^ "/" ^ e.tag in
+  match Dtd.find dtd e.tag with
+  | None -> error path "element not declared in DTD" :: errors
+  | Some decl -> (
+      match decl.el_content with
+      | Dtd.Pcdata ->
+          List.fold_left
+            (fun errs child ->
+              match child with
+              | Xml.Text _ -> errs
+              | Xml.Element c ->
+                  error path "unexpected element <%s> in #PCDATA content" c.tag
+                  :: errs)
+            errors e.children
+      | Dtd.Children specs ->
+          let children = Xml.child_elements e in
+          let text_errs =
+            List.fold_left
+              (fun errs child ->
+                match child with
+                | Xml.Text s when String.trim s <> "" ->
+                    error path "unexpected character data %S" s :: errs
+                | _ -> errs)
+              errors e.children
+          in
+          match_children dtd path specs children text_errs)
+
+and match_children dtd path specs children errors =
+  match specs with
+  | [] -> (
+      match children with
+      | [] -> errors
+      | c :: _ -> error path "unexpected element <%s>" c.Xml.tag :: errors)
+  | (name, mult) :: rest ->
+      let run, remaining =
+        let rec take acc = function
+          | (c : Xml.element) :: cs when c.tag = name -> take (c :: acc) cs
+          | cs -> (List.rev acc, cs)
+        in
+        take [] children
+      in
+      let errors =
+        if Dtd.admits mult (List.length run) then errors
+        else
+          error path "element <%s> occurs %d times, multiplicity is %s%s" name
+            (List.length run)
+            (match mult with Dtd.One -> "exactly 1" | Dtd.Opt -> "at most 1"
+            | Dtd.Plus -> "at least 1" | Dtd.Star -> "any")
+            ""
+          :: errors
+      in
+      let errors =
+        List.fold_left (fun errs c -> check_element dtd path c errs) errors run
+      in
+      match_children dtd path rest remaining errors
+
+let validate dtd doc =
+  let root = Xml.root doc in
+  let errors =
+    if root.Xml.tag <> Dtd.root_name dtd then
+      [
+        error "/"
+          "root element is <%s>, DTD declares <%s>" root.Xml.tag
+          (Dtd.root_name dtd);
+      ]
+    else []
+  in
+  List.rev (check_element dtd "" root errors)
+
+let is_valid dtd doc = validate dtd doc = []

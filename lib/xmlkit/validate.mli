@@ -1,0 +1,12 @@
+(** DTD validation. *)
+
+type error = { path : string; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val validate : Dtd.t -> Xml.t -> error list
+(** All violations, in document order (empty = valid).  Checks the root
+    tag, declaredness of every element, #PCDATA purity, and child
+    sequences against the declared multiplicities. *)
+
+val is_valid : Dtd.t -> Xml.t -> bool

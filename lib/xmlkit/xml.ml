@@ -1,0 +1,70 @@
+(* XML documents as ordered trees.  The middleware only needs elements
+   and character data (RXL constructs no attributes in the paper's
+   queries), but attributes are carried for generality. *)
+
+type node =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : node list;
+}
+
+type t = { root : element }
+
+let element ?(attrs = []) tag children = { tag; attrs; children }
+let elem ?attrs tag children = Element (element ?attrs tag children)
+let text s = Text s
+let document root = { root }
+let root t = t.root
+
+let rec count_elements_node = function
+  | Text _ -> 0
+  | Element e ->
+      1 + List.fold_left (fun acc c -> acc + count_elements_node c) 0 e.children
+
+let count_elements t = count_elements_node (Element t.root)
+
+let rec depth_node = function
+  | Text _ -> 0
+  | Element e ->
+      1 + List.fold_left (fun acc c -> max acc (depth_node c)) 0 e.children
+
+let depth t = depth_node (Element t.root)
+
+(* Children elements with a given tag, in document order. *)
+let children_named e tag =
+  List.filter_map
+    (function Element c when c.tag = tag -> Some c | _ -> None)
+    e.children
+
+let child_elements e =
+  List.filter_map (function Element c -> Some c | Text _ -> None) e.children
+
+(* Concatenated character data directly under [e]. *)
+let text_content e =
+  String.concat ""
+    (List.filter_map (function Text s -> Some s | Element _ -> None) e.children)
+
+let rec equal_node a b =
+  match (a, b) with
+  | Text x, Text y -> x = y
+  | Element x, Element y -> equal_element x y
+  | _ -> false
+
+and equal_element a b =
+  a.tag = b.tag && a.attrs = b.attrs
+  && List.length a.children = List.length b.children
+  && List.for_all2 equal_node a.children b.children
+
+let equal a b = equal_element a.root b.root
+
+(* Fold over elements in document order (pre-order). *)
+let fold_elements f acc t =
+  let rec go acc = function
+    | Text _ -> acc
+    | Element e -> List.fold_left go (f acc e) e.children
+  in
+  go acc (Element t.root)

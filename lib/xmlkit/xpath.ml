@@ -1,0 +1,173 @@
+(* A small XPath subset for extracting fragments of materialized views —
+   the paper's users "query the XML view, extracting small fragments"
+   (Sec. 1); this gives downstream users that ability over documents this
+   library produces.
+
+   Grammar:
+     path  := ('/' | '//') step { ('/' | '//') step }
+     step  := (NAME | '*') { pred }
+     pred  := '[' INT ']'                      positional, 1-based
+            | '[' NAME '=' '\'' text '\'' ']'  child-text equality
+            | '[' NAME ']'                     child existence
+
+   '/' selects children, '//' descendants-or-self.  The root element
+   itself is addressed by the first step (as in standard XPath:
+   /suppliers/supplier). *)
+
+exception Parse_error of string
+
+type pred =
+  | Position of int
+  | Child_equals of string * string
+  | Child_exists of string
+
+type step = {
+  descendant : bool; (* reached via // *)
+  name : string option; (* None = '*' *)
+  preds : pred list;
+}
+
+type t = step list
+
+(* --- parsing ------------------------------------------------------------ *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.'
+
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let read_name () =
+    let start = !pos in
+    while !pos < n && is_name_char s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "expected name";
+    String.sub s start (!pos - start)
+  in
+  let read_pred () =
+    (* at '[' *)
+    incr pos;
+    let p =
+      match peek () with
+      | Some c when c >= '0' && c <= '9' ->
+          let start = !pos in
+          while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+            incr pos
+          done;
+          Position (int_of_string (String.sub s start (!pos - start)))
+      | Some _ ->
+          let name = read_name () in
+          if peek () = Some '=' then begin
+            incr pos;
+            if peek () <> Some '\'' then fail "expected quoted string";
+            incr pos;
+            let start = !pos in
+            while !pos < n && s.[!pos] <> '\'' do
+              incr pos
+            done;
+            if !pos >= n then fail "unterminated string";
+            let text = String.sub s start (!pos - start) in
+            incr pos;
+            Child_equals (name, text)
+          end
+          else Child_exists name
+      | None -> fail "unterminated predicate"
+    in
+    if peek () <> Some ']' then fail "expected ]";
+    incr pos;
+    p
+  in
+  let read_step descendant =
+    let name =
+      if peek () = Some '*' then begin
+        incr pos;
+        None
+      end
+      else Some (read_name ())
+    in
+    let preds = ref [] in
+    while peek () = Some '[' do
+      preds := read_pred () :: !preds
+    done;
+    { descendant; name; preds = List.rev !preds }
+  in
+  if n = 0 || s.[0] <> '/' then fail "path must start with /";
+  let steps = ref [] in
+  while !pos < n do
+    if s.[!pos] <> '/' then fail "expected /";
+    incr pos;
+    let descendant =
+      if peek () = Some '/' then begin
+        incr pos;
+        true
+      end
+      else false
+    in
+    steps := read_step descendant :: !steps
+  done;
+  if !steps = [] then fail "empty path";
+  List.rev !steps
+
+(* --- evaluation ---------------------------------------------------------- *)
+
+let rec descendants_or_self (e : Xml.element) : Xml.element list =
+  e :: List.concat_map descendants_or_self (Xml.child_elements e)
+
+let name_matches step (e : Xml.element) =
+  match step.name with None -> true | Some nm -> e.Xml.tag = nm
+
+let pred_holds (e : Xml.element) = function
+  | Position _ -> true (* handled at the candidate-list level *)
+  | Child_exists name -> Xml.children_named e name <> []
+  | Child_equals (name, text) ->
+      List.exists
+        (fun c -> Xml.text_content c = text)
+        (Xml.children_named e name)
+
+let apply_preds preds (candidates : Xml.element list) : Xml.element list =
+  List.fold_left
+    (fun cands p ->
+      match p with
+      | Position k -> (
+          match List.nth_opt cands (k - 1) with Some e -> [ e ] | None -> [])
+      | p -> List.filter (fun e -> pred_holds e p) cands)
+    candidates preds
+
+let select_elements (doc : Xml.t) (path : string) : Xml.element list =
+  let steps = parse path in
+  (* context = list of elements; the first step matches against the root
+     element itself (or any descendant for //) *)
+  let initial (step : step) =
+    let pool =
+      if step.descendant then descendants_or_self (Xml.root doc)
+      else [ Xml.root doc ]
+    in
+    apply_preds step.preds (List.filter (name_matches step) pool)
+  in
+  let advance (ctx : Xml.element list) (step : step) =
+    List.concat_map
+      (fun e ->
+        let pool =
+          if step.descendant then
+            List.concat_map descendants_or_self (Xml.child_elements e)
+          else Xml.child_elements e
+        in
+        apply_preds step.preds (List.filter (name_matches step) pool))
+      ctx
+  in
+  match steps with
+  | [] -> []
+  | first :: rest -> List.fold_left advance (initial first) rest
+
+let select_text doc path =
+  List.map Xml.text_content (select_elements doc path)
+
+let count doc path = List.length (select_elements doc path)
+
+let exists doc path = select_elements doc path <> []

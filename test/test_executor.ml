@@ -1,0 +1,268 @@
+(* The query engine: scans, joins (incl. left outer and OR-expansion),
+   unions, sorting, three-valued WHERE, budget/timeout, work metering. *)
+
+open Relational
+
+let i n = Value.Int n
+let s x = Value.String x
+
+let mkdb () =
+  let db = Database.create () in
+  Database.add_table db
+    (Schema.table "R" ~key:[ "a" ]
+       [ Schema.column "a" Value.TInt; Schema.column "b" Value.TString ]);
+  Database.add_table db
+    (Schema.table "S" ~key:[ "c" ]
+       [ Schema.column "c" Value.TInt; Schema.column "d" Value.TInt;
+         Schema.column "e" Value.TString ]);
+  Database.load db "R" [ [| i 1; s "one" |]; [| i 2; s "two" |]; [| i 3; s "three" |] ];
+  Database.load db "S"
+    [ [| i 10; i 1; s "x" |]; [| i 11; i 1; s "y" |]; [| i 12; i 2; s "z" |] ];
+  db
+
+let run db text = Executor.run db (Sql_parser.parse text)
+
+let test_scan_project () =
+  let r = run (mkdb ()) "SELECT r.b AS b FROM R AS r" in
+  Alcotest.(check int) "3 rows" 3 (Relation.cardinality r);
+  Alcotest.(check int) "1 col" 1 (Relation.arity r)
+
+let test_where_filter () =
+  let r = run (mkdb ()) "SELECT r.a AS a FROM R AS r WHERE (r.a >= 2)" in
+  Alcotest.(check int) "2 rows" 2 (Relation.cardinality r)
+
+let test_inner_join () =
+  let r = run (mkdb ())
+      "SELECT r.a AS a, q.c AS c FROM R AS r, S AS q WHERE (r.a = q.d)" in
+  Alcotest.(check int) "3 matches" 3 (Relation.cardinality r)
+
+let test_left_outer_join_pads () =
+  let r = run (mkdb ())
+      "SELECT r.a AS a, q.c AS c FROM R AS r LEFT OUTER JOIN S AS q ON (r.a = q.d) ORDER BY a, c" in
+  Alcotest.(check int) "3 matches + 1 pad" 4 (Relation.cardinality r);
+  (* row for a=3 has NULL c *)
+  let padded =
+    List.filter (fun t -> Value.is_null t.(1)) (Relation.rows r)
+  in
+  Alcotest.(check int) "one padded row" 1 (List.length padded);
+  Alcotest.(check bool) "pad is a=3" true (Value.equal (List.hd padded).(0) (i 3))
+
+let test_left_outer_join_residual_condition () =
+  (* equi key + residual: only S rows with e='x' count as matches *)
+  let r = run (mkdb ())
+      "SELECT r.a AS a, q.c AS c FROM R AS r LEFT OUTER JOIN S AS q ON ((r.a = q.d) AND (q.e = 'x'))" in
+  Alcotest.(check int) "1 match + 2 pads" 3 (Relation.cardinality r)
+
+let test_or_expansion_join () =
+  (* the disjunctive ON shape that unified outer-join plans produce *)
+  let r = run (mkdb ())
+      "SELECT r.a AS a, q.c AS c FROM R AS r LEFT OUTER JOIN S AS q \
+       ON (((q.e = 'x') AND (r.a = q.d)) OR ((q.e = 'z') AND (r.a = q.d)))" in
+  (* a=1 matches c=10; a=2 matches c=12; a=3 padded *)
+  Alcotest.(check int) "rows" 3 (Relation.cardinality r)
+
+let test_union_all () =
+  let r = run (mkdb ())
+      "(SELECT r.a AS k FROM R AS r) UNION ALL (SELECT q.c AS k FROM S AS q)" in
+  Alcotest.(check int) "3 + 3" 6 (Relation.cardinality r)
+
+let test_union_arity_mismatch () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (run (mkdb ())
+         "(SELECT r.a AS k FROM R AS r) UNION ALL (SELECT q.c AS k, q.d AS d FROM S AS q)");
+       false
+     with Invalid_argument _ -> true)
+
+let test_order_by_with_nulls () =
+  let r = run (mkdb ())
+      "SELECT r.a AS a, q.c AS c FROM R AS r LEFT OUTER JOIN S AS q ON (r.a = q.d) ORDER BY c, a" in
+  (match Relation.rows r with
+  | first :: _ -> Alcotest.(check bool) "null c first" true (Value.is_null first.(1))
+  | [] -> Alcotest.fail "empty");
+  Alcotest.(check bool) "sorted" true
+    (Relation.is_sorted_by [| 1; 0 |] r)
+
+let test_order_by_desc () =
+  let r = run (mkdb ()) "SELECT r.a AS a FROM R AS r ORDER BY a DESC" in
+  match Relation.rows r with
+  | a :: _ -> Alcotest.(check bool) "3 first" true (Value.equal a.(0) (i 3))
+  | [] -> Alcotest.fail "empty"
+
+let test_derived_table () =
+  let r = run (mkdb ())
+      "SELECT x.a AS a FROM (SELECT r.a AS a FROM R AS r WHERE (r.a >= 2)) AS x" in
+  Alcotest.(check int) "2 rows" 2 (Relation.cardinality r)
+
+let test_dual_select () =
+  let r = run (mkdb ()) "SELECT 1 AS one, 'x' AS x" in
+  Alcotest.(check int) "one row" 1 (Relation.cardinality r)
+
+let test_three_valued_where () =
+  let db = mkdb () in
+  Database.add_table db
+    (Schema.table "N" ~key:[ "k" ]
+       [ Schema.column "k" Value.TInt; Schema.column ~nullable:true "v" Value.TInt ]);
+  Database.load db "N" [ [| i 1; i 5 |]; [| i 2; Value.Null |] ];
+  let r = run db "SELECT n.k AS k FROM N AS n WHERE (n.v = 5)" in
+  Alcotest.(check int) "null row filtered" 1 (Relation.cardinality r);
+  let r = run db "SELECT n.k AS k FROM N AS n WHERE (n.v IS NULL)" in
+  Alcotest.(check int) "is null finds it" 1 (Relation.cardinality r)
+
+let test_ambiguous_column () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (run (mkdb ()) "SELECT a AS a FROM R AS r, R AS r2 WHERE (r.a = r2.a)");
+       false
+     with Executor.Ambiguous_column "a" -> true)
+
+let test_budget_timeout () =
+  let db = mkdb () in
+  Alcotest.(check bool) "tiny budget trips" true
+    (try
+       ignore (Executor.run ~budget:2 db
+                 (Sql_parser.parse "SELECT r.a AS a FROM R AS r, S AS q WHERE (r.a = q.d)"));
+       false
+     with Executor.Timeout -> true)
+
+let test_stats_metering () =
+  let db = mkdb () in
+  let _, st =
+    Executor.run_with_stats db
+      (Sql_parser.parse "SELECT r.a AS a FROM R AS r ORDER BY a")
+  in
+  Alcotest.(check int) "scanned" 3 st.Executor.scanned;
+  Alcotest.(check bool) "sorted counted" true (st.Executor.sorted > 0);
+  Alcotest.(check bool) "work positive" true (st.Executor.work > 0)
+
+let test_spill_accounting () =
+  (* a tiny sort buffer forces spill passes on any non-trivial sort *)
+  let db = mkdb () in
+  let profile = { Executor.sort_buffer = 8; byte_div = 4 } in
+  let _, st =
+    Executor.run_with_stats ~profile db
+      (Sql_parser.parse "SELECT r.a AS a, r.b AS b FROM R AS r ORDER BY a")
+  in
+  Alcotest.(check bool) "spill passes recorded" true (st.Executor.spill_passes > 0);
+  let _, st_big =
+    Executor.run_with_stats db
+      (Sql_parser.parse "SELECT r.a AS a, r.b AS b FROM R AS r ORDER BY a")
+  in
+  Alcotest.(check int) "no spill with default buffer" 0 st_big.Executor.spill_passes;
+  Alcotest.(check bool) "spill costs work" true (st.Executor.work > st_big.Executor.work)
+
+let test_cross_product_without_condition () =
+  let r = run (mkdb ()) "SELECT r.a AS a, q.c AS c FROM R AS r, S AS q" in
+  Alcotest.(check int) "3x3" 9 (Relation.cardinality r)
+
+let test_join_chain_three_tables () =
+  let db = mkdb () in
+  Database.add_table db
+    (Schema.table "T" ~key:[ "f" ]
+       [ Schema.column "f" Value.TInt; Schema.column "g" Value.TInt ]);
+  Database.load db "T" [ [| i 10; i 100 |]; [| i 12; i 200 |] ];
+  let r = run db
+      "SELECT r.b AS b, t.g AS g FROM R AS r, S AS q, T AS t \
+       WHERE ((r.a = q.d) AND (q.c = t.f))" in
+  (* S rows with c in {10,12}: (10,d=1),(12,d=2) -> 2 results *)
+  Alcotest.(check int) "chained" 2 (Relation.cardinality r)
+
+let test_null_join_keys_never_match () =
+  (* SQL: NULL = NULL is UNKNOWN, so NULL keys never join *)
+  let db = Database.create () in
+  Database.add_table db
+    (Schema.table "A" ~key:[]
+       [ Schema.column ~nullable:true "x" Value.TInt ]);
+  Database.add_table db
+    (Schema.table "B" ~key:[]
+       [ Schema.column ~nullable:true "y" Value.TInt ]);
+  Database.load db "A" [ [| Value.Null |]; [| i 1 |] ];
+  Database.load db "B" [ [| Value.Null |]; [| i 1 |] ];
+  let inner = run db "SELECT a.x AS x, b.y AS y FROM A AS a, B AS b WHERE (a.x = b.y)" in
+  Alcotest.(check int) "only 1=1 matches" 1 (Relation.cardinality inner);
+  let outer =
+    run db "SELECT a.x AS x, b.y AS y FROM A AS a LEFT OUTER JOIN B AS b ON (a.x = b.y)"
+  in
+  (* NULL row of A is padded, 1 matches *)
+  Alcotest.(check int) "pad + match" 2 (Relation.cardinality outer)
+
+let test_empty_tables () =
+  let db = mkdb () in
+  Database.add_table db
+    (Schema.table "E" ~key:[ "k" ] [ Schema.column "k" Value.TInt ]);
+  Alcotest.(check int) "empty scan" 0
+    (Relation.cardinality (run db "SELECT e.k AS k FROM E AS e"));
+  Alcotest.(check int) "inner join with empty" 0
+    (Relation.cardinality
+       (run db "SELECT r.a AS a FROM R AS r, E AS e WHERE (r.a = e.k)"));
+  Alcotest.(check int) "left join with empty pads all" 3
+    (Relation.cardinality
+       (run db "SELECT r.a AS a, e.k AS k FROM R AS r LEFT OUTER JOIN E AS e ON (r.a = e.k)"))
+
+let test_self_join_aliases () =
+  let r = run (mkdb ())
+      "SELECT r1.a AS a, r2.a AS b FROM R AS r1, R AS r2 WHERE (r1.a < r2.a)" in
+  Alcotest.(check int) "three pairs" 3 (Relation.cardinality r)
+
+let suite =
+  [
+    Alcotest.test_case "scan + project" `Quick test_scan_project;
+    Alcotest.test_case "NULL join keys never match" `Quick test_null_join_keys_never_match;
+    Alcotest.test_case "empty tables" `Quick test_empty_tables;
+    Alcotest.test_case "self join" `Quick test_self_join_aliases;
+    Alcotest.test_case "where filter" `Quick test_where_filter;
+    Alcotest.test_case "inner join" `Quick test_inner_join;
+    Alcotest.test_case "left outer join pads" `Quick test_left_outer_join_pads;
+    Alcotest.test_case "left outer join residual" `Quick test_left_outer_join_residual_condition;
+    Alcotest.test_case "OR-expansion join" `Quick test_or_expansion_join;
+    Alcotest.test_case "union all" `Quick test_union_all;
+    Alcotest.test_case "union arity mismatch" `Quick test_union_arity_mismatch;
+    Alcotest.test_case "order by with NULLs" `Quick test_order_by_with_nulls;
+    Alcotest.test_case "order by DESC" `Quick test_order_by_desc;
+    Alcotest.test_case "derived table" `Quick test_derived_table;
+    Alcotest.test_case "dual select" `Quick test_dual_select;
+    Alcotest.test_case "three-valued WHERE" `Quick test_three_valued_where;
+    Alcotest.test_case "ambiguous column" `Quick test_ambiguous_column;
+    Alcotest.test_case "budget timeout" `Quick test_budget_timeout;
+    Alcotest.test_case "work metering" `Quick test_stats_metering;
+    Alcotest.test_case "spill accounting" `Quick test_spill_accounting;
+    Alcotest.test_case "cross product" `Quick test_cross_product_without_condition;
+    Alcotest.test_case "three-table join chain" `Quick test_join_chain_three_tables;
+  ]
+
+(* Property: hash join with OR-expansion agrees with a reference
+   nested-loop evaluation on random small instances. *)
+let prop_join_vs_nested_loop =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_bound 12) (pair (int_bound 4) (int_bound 4)))
+        (list_size (int_bound 12) (pair (int_bound 4) (int_bound 4))))
+  in
+  QCheck.Test.make ~name:"left join = reference semantics" ~count:100
+    (QCheck.make gen) (fun (rs, ss) ->
+      let db = Database.create () in
+      Database.add_table db
+        (Schema.table "A" ~key:[]
+           [ Schema.column "x" Value.TInt; Schema.column "y" Value.TInt ]);
+      Database.add_table db
+        (Schema.table "B" ~key:[]
+           [ Schema.column "u" Value.TInt; Schema.column "v" Value.TInt ]);
+      Database.load db "A" (List.map (fun (x, y) -> [| i x; i y |]) rs);
+      Database.load db "B" (List.map (fun (u, v) -> [| i u; i v |]) ss);
+      let r = run db
+          "SELECT a.x AS x, a.y AS y, b.u AS u, b.v AS v \
+           FROM A AS a LEFT OUTER JOIN B AS b ON (a.x = b.u) ORDER BY x, y, u, v" in
+      (* reference *)
+      let expected =
+        List.concat_map
+          (fun (x, y) ->
+            let matches = List.filter (fun (u, _) -> u = x) ss in
+            if matches = [] then [ [| i x; i y; Value.Null; Value.Null |] ]
+            else List.map (fun (u, v) -> [| i x; i y; i u; i v |]) matches)
+          rs
+      in
+      Relation.equal_bag r
+        (Relation.create [| "x"; "y"; "u"; "v" |] expected))
+
+let props = [ prop_join_vs_nested_loop ]

@@ -1,0 +1,151 @@
+(* Edge labeling (C1/C2 of Sec. 3.5) and view-tree reduction groups. *)
+
+open Silkroute
+module R = Relational
+
+let prep text db = Middleware.prepare_text db text
+
+let label_of p (sfi_p, sfi_c) =
+  let t = p.Middleware.tree in
+  let find sfi =
+    (Array.to_list t.View_tree.nodes
+    |> List.find (fun n -> n.View_tree.sfi = sfi))
+      .View_tree.id
+  in
+  let pi = find sfi_p and ci = find sfi_c in
+  let rec go i =
+    if i >= Array.length t.View_tree.edges then Alcotest.fail "no such edge"
+    else if t.View_tree.edges.(i) = (pi, ci) then p.Middleware.labels.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let test_q1_labels () =
+  let db = Tpch.Gen.generate (Tpch.Gen.config 0.2) in
+  let p = prep Queries.query1_text db in
+  (* supplier -> name/nation/region: 1 (FD + guaranteed by FK chase) *)
+  Alcotest.(check bool) "name 1" true (label_of p ([ 1 ], [ 1; 1 ]) = Xmlkit.Dtd.One);
+  Alcotest.(check bool) "nation 1" true (label_of p ([ 1 ], [ 1; 2 ]) = Xmlkit.Dtd.One);
+  Alcotest.(check bool) "region 1" true (label_of p ([ 1 ], [ 1; 3 ]) = Xmlkit.Dtd.One);
+  (* supplier -> part: * (suppliers without parts; many parts) *)
+  Alcotest.(check bool) "part *" true (label_of p ([ 1 ], [ 1; 4 ]) = Xmlkit.Dtd.Star);
+  (* part -> order: * *)
+  Alcotest.(check bool) "order *" true (label_of p ([ 1; 4 ], [ 1; 4; 2 ]) = Xmlkit.Dtd.Star);
+  (* order -> orderkey/customer/nation: 1 *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "order child 1" true
+        (label_of p ([ 1; 4; 2 ], c) = Xmlkit.Dtd.One))
+    [ [ 1; 4; 2; 1 ]; [ 1; 4; 2; 2 ]; [ 1; 4; 2; 3 ] ]
+
+let test_q2_labels () =
+  let db = Tpch.Gen.generate (Tpch.Gen.config 0.2) in
+  let p = prep Queries.query2_text db in
+  Alcotest.(check bool) "part *" true (label_of p ([ 1 ], [ 1; 4 ]) = Xmlkit.Dtd.Star);
+  Alcotest.(check bool) "order *" true (label_of p ([ 1 ], [ 1; 5 ]) = Xmlkit.Dtd.Star);
+  Alcotest.(check bool) "part name 1" true
+    (label_of p ([ 1; 4 ], [ 1; 4; 1 ]) = Xmlkit.Dtd.One)
+
+let test_plus_label_with_declared_inclusion () =
+  (* declare every supplier supplies something: C2 true, C1 false => '+' *)
+  let db = Tpch.Gen.generate (Tpch.Gen.config 0.2) in
+  R.Database.declare_inclusion db
+    { R.Schema.inc_table = "Supplier"; inc_cols = [ "suppkey" ];
+      inc_ref_table = "PartSupp"; inc_ref_cols = [ "suppkey" ] };
+  let p = prep Queries.query1_text db in
+  Alcotest.(check bool) "part +" true (label_of p ([ 1 ], [ 1; 4 ]) = Xmlkit.Dtd.Plus)
+
+let test_opt_label_with_nullable_fk () =
+  (* a nullable FK keeps C1 (unique) but loses C2 (guaranteed) => '?' *)
+  let db = R.Database.create () in
+  R.Database.add_table db
+    (R.Schema.table "A" ~key:[ "id" ]
+       ~foreign_keys:
+         [ { R.Schema.fk_cols = [ "b" ]; ref_table = "B"; ref_cols = [ "id" ] } ]
+       [ R.Schema.column "id" R.Value.TInt;
+         R.Schema.column ~nullable:true "b" R.Value.TInt ]);
+  R.Database.add_table db
+    (R.Schema.table "B" ~key:[ "id" ]
+       [ R.Schema.column "id" R.Value.TInt; R.Schema.column "v" R.Value.TString ]);
+  let p =
+    prep
+      {|view x { from A $a construct <a>
+          { from B $b where $a.b = $b.id construct <b>$b.v</b> } </a> }|}
+      db
+  in
+  Alcotest.(check bool) "? label" true (label_of p ([ 1 ], [ 1; 1 ]) = Xmlkit.Dtd.Opt)
+
+let test_label_to_string () =
+  let db = Tpch.Gen.generate (Tpch.Gen.config 0.2) in
+  let p = prep Queries.query1_text db in
+  let s = Label.to_string p.Middleware.tree p.Middleware.labels in
+  Alcotest.(check bool) "mentions star edge" true
+    (let needle = "S1 -*-> S1.4" in
+     let nh = String.length s and nn = String.length needle in
+     let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+     go 0)
+
+(* --- reduction groups --------------------------------------------------- *)
+
+let test_groups_unified_q1 () =
+  let db = Tpch.Gen.generate (Tpch.Gen.config 0.2) in
+  let p = prep Queries.query1_text db in
+  let plan = Partition.unified p.Middleware.tree in
+  let frag = List.hd (Partition.fragments plan) in
+  let groups =
+    Reduce.groups_of_fragment p.Middleware.tree ~labels:(Some p.Middleware.labels) frag
+  in
+  (* 1-edges collapse: {S1,name,nation,region}, {part,name}, {order,+3 leaves} *)
+  Alcotest.(check int) "three groups" 3 (List.length groups);
+  let sizes = List.map (fun g -> List.length g.Reduce.g_members) groups in
+  Alcotest.(check (list int)) "group sizes" [ 4; 2; 4 ] sizes
+
+let test_groups_disabled_without_labels () =
+  let db = Tpch.Gen.generate (Tpch.Gen.config 0.2) in
+  let p = prep Queries.query1_text db in
+  let plan = Partition.unified p.Middleware.tree in
+  let frag = List.hd (Partition.fragments plan) in
+  let groups = Reduce.groups_of_fragment p.Middleware.tree ~labels:None frag in
+  Alcotest.(check int) "all singletons" 10 (List.length groups)
+
+let test_groups_respect_cut_edges () =
+  let db = Tpch.Gen.generate (Tpch.Gen.config 0.2) in
+  let p = prep Queries.query1_text db in
+  (* cut everything: no internal edges, so no grouping despite labels *)
+  let plan = Partition.fully_partitioned p.Middleware.tree in
+  List.iter
+    (fun frag ->
+      let groups =
+        Reduce.groups_of_fragment p.Middleware.tree ~labels:(Some p.Middleware.labels) frag
+      in
+      Alcotest.(check int) "singleton" 1 (List.length groups))
+    (Partition.fragments plan)
+
+let test_fused_children_and_group_of () =
+  let db = Tpch.Gen.generate (Tpch.Gen.config 0.2) in
+  let p = prep Queries.query1_text db in
+  let tree = p.Middleware.tree in
+  let plan = Partition.unified tree in
+  let frag = List.hd (Partition.fragments plan) in
+  let groups = Reduce.groups_of_fragment tree ~labels:(Some p.Middleware.labels) frag in
+  let root_group = Reduce.group_of groups 0 in
+  Alcotest.(check int) "root group root" 0 root_group.Reduce.g_root;
+  (* S1's fused children are name, nation, region (3 of them) *)
+  Alcotest.(check int) "fused children of S1" 3
+    (List.length (Reduce.fused_children tree root_group 0));
+  (* child groups of the root group: the part group *)
+  Alcotest.(check int) "one child group" 1
+    (List.length (Reduce.child_groups tree groups root_group))
+
+let suite =
+  [
+    Alcotest.test_case "Query 1 labels" `Quick test_q1_labels;
+    Alcotest.test_case "Query 2 labels" `Quick test_q2_labels;
+    Alcotest.test_case "'+' via declared inclusion" `Quick test_plus_label_with_declared_inclusion;
+    Alcotest.test_case "'?' via nullable FK" `Quick test_opt_label_with_nullable_fk;
+    Alcotest.test_case "label rendering" `Quick test_label_to_string;
+    Alcotest.test_case "groups: unified Query 1" `Quick test_groups_unified_q1;
+    Alcotest.test_case "groups: disabled" `Quick test_groups_disabled_without_labels;
+    Alcotest.test_case "groups: respect cut edges" `Quick test_groups_respect_cut_edges;
+    Alcotest.test_case "fused children / group_of" `Quick test_fused_children_and_group_of;
+  ]

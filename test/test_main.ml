@@ -1,0 +1,41 @@
+(* Test entry point: alcotest suites per module plus qcheck property
+   suites bridged through qcheck-alcotest. *)
+
+let qcheck name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "silkroute"
+    [
+      ("value", Test_value.suite);
+      qcheck "value:props" Test_value.props;
+      ("tuple", Test_tuple.suite);
+      qcheck "tuple:props" Test_tuple.props;
+      ("relation", Test_relation.suite);
+      qcheck "relation:props" Test_relation.props;
+      ("schema+database", Test_schema_db.suite);
+      ("expr", Test_expr.suite);
+      qcheck "expr:props" Test_expr.props;
+      ("sql", Test_sql.suite);
+      ("executor", Test_executor.suite);
+      qcheck "executor:props" Test_executor.props;
+      ("stats+cost", Test_stats_cost.suite);
+      ("source+csv", Test_source_csv.suite);
+      ("tpch", Test_tpch.suite);
+      ("xml", Test_xml.suite);
+      ("xpath", Test_xpath.suite);
+      qcheck "xml:props" Test_xml.props;
+      ("datalog", Test_datalog.suite);
+      ("rxl", Test_rxl.suite);
+      ("view-tree", Test_view_tree.suite);
+      ("label+reduce", Test_label_reduce.suite);
+      ("partition", Test_partition.suite);
+      qcheck "partition:props" Test_partition.props;
+      ("sql-gen", Test_sql_gen.suite);
+      ("tagger", Test_tagger.suite);
+      qcheck "tagger:props" Test_tagger.props;
+      ("planner", Test_planner.suite);
+      ("query3", Test_query3.suite);
+      ("middleware", Test_middleware.suite);
+      qcheck "random-views:props" Test_random_views.props;
+    ]

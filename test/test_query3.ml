@@ -1,0 +1,149 @@
+(* Query 3 (the extra test query of Sec. 5.1's future work): '+' labels
+   via declared inclusions, the guaranteed-branch inner-join
+   optimization, exhaustive correctness, and threshold transfer. *)
+
+open Silkroute
+module R = Relational
+
+let setup ?(scale = 0.15) () =
+  let db = Tpch.Gen.generate (Tpch.Gen.config scale) in
+  (db, Middleware.prepare_text db Queries.query3_text)
+
+let test_shape () =
+  let _, p = setup () in
+  Alcotest.(check int) "8 nodes" 8 (View_tree.node_count p.Middleware.tree);
+  Alcotest.(check int) "7 edges" 7 (View_tree.edge_count p.Middleware.tree)
+
+let label_of (p : Middleware.prepared) (sfi_p, sfi_c) =
+  let t = p.Middleware.tree in
+  let find sfi =
+    (Array.to_list t.View_tree.nodes |> List.find (fun n -> n.View_tree.sfi = sfi))
+      .View_tree.id
+  in
+  let e = (find sfi_p, find sfi_c) in
+  let rec go i =
+    if t.View_tree.edges.(i) = e then p.Middleware.labels.(i) else go (i + 1)
+  in
+  go 0
+
+let test_plus_label_from_declared_inclusion () =
+  let _, p = setup () in
+  (* customer -> order is '*' (customers without orders exist) *)
+  Alcotest.(check bool) "order *" true
+    (label_of p ([ 1 ], [ 1; 3 ]) = Xmlkit.Dtd.Star);
+  (* order -> item is '+': Orders[orderkey] ⊆ LineItem[orderkey] declared *)
+  Alcotest.(check bool) "item +" true
+    (label_of p ([ 1; 3 ], [ 1; 3; 2 ]) = Xmlkit.Dtd.Plus);
+  (* item -> part is '1' via the composite FK to PartSupp? no — via
+     Part's key on l.partkey: FD holds and partkey NOT NULL... the FK is
+     (partkey,suppkey)->PartSupp, not partkey->Part, so C2 is not
+     derivable: expect '?' *)
+  Alcotest.(check bool) "part 1-or-?" true
+    (let l = label_of p ([ 1; 3; 2 ], [ 1; 3; 2; 1 ]) in
+     l = Xmlkit.Dtd.One || l = Xmlkit.Dtd.Opt)
+
+let test_guaranteed_branch_inner_join () =
+  (* with reduction, the order fragment joins its '+' item branch with an
+     inner join instead of a left outer join *)
+  let db, p = setup () in
+  let t = p.Middleware.tree in
+  (* keep only order->item (edge between sfi [1;3] and [1;3;2]) *)
+  let keep =
+    Array.map
+      (fun (a, b) ->
+        ((View_tree.node t a).View_tree.sfi, (View_tree.node t b).View_tree.sfi)
+        = ([ 1; 3 ], [ 1; 3; 2 ]))
+      t.View_tree.edges
+  in
+  let plan = Partition.of_keep t keep in
+  let with_labels =
+    Sql_gen.streams db t plan
+      { Sql_gen.style = Sql_gen.Outer_join; labels = Some p.Middleware.labels }
+  in
+  let order_stream =
+    List.find
+      (fun (s : Sql_gen.stream) ->
+        List.length s.Sql_gen.fragment.Partition.members >= 2)
+      with_labels
+  in
+  Alcotest.(check int) "no outer join needed" 0
+    (R.Sql.count_outer_joins order_stream.Sql_gen.query);
+  (* without labels the same fragment uses a left outer join *)
+  let without =
+    Sql_gen.streams db t plan Sql_gen.default_options
+    |> List.find (fun (s : Sql_gen.stream) ->
+           List.length s.Sql_gen.fragment.Partition.members >= 2)
+  in
+  Alcotest.(check int) "outer join without labels" 1
+    (R.Sql.count_outer_joins without.Sql_gen.query)
+
+let test_exhaustive_256_plans () =
+  let _, p = setup ~scale:0.12 () in
+  let truth = Middleware.materialize_naive p in
+  List.iter
+    (fun mask ->
+      let plan = Partition.of_mask p.Middleware.tree mask in
+      let e = Middleware.execute p plan in
+      if not (Xmlkit.Xml.equal (Middleware.document_of p e) truth) then
+        Alcotest.failf "plan %d diverges" mask;
+      if mask mod 8 = 0 then begin
+        let er = Middleware.execute ~reduce:true p plan in
+        if not (Xmlkit.Xml.equal (Middleware.document_of p er) truth) then
+          Alcotest.failf "plan %d (reduced) diverges" mask
+      end)
+    (Partition.all_masks p.Middleware.tree)
+
+let test_dtd_validity () =
+  let _, p = setup ~scale:0.3 () in
+  let e = Middleware.execute ~reduce:true p (Partition.unified p.Middleware.tree) in
+  let doc = Middleware.document_of p e in
+  Alcotest.(check (list string)) "valid" []
+    (List.map (fun er -> Format.asprintf "%a" Xmlkit.Validate.pp_error er)
+       (Xmlkit.Validate.validate Queries.dtd_query3 doc))
+
+let test_thresholds_transfer () =
+  (* the paper's hypothesis: the fixed (a,b,t1,t2) depend on the engine,
+     not the query — the greedy plan for Query 3 must beat both default
+     strategies with the same default parameters *)
+  let db, p = setup ~scale:1.0 () in
+  let oracle = R.Cost.oracle db in
+  let r =
+    Planner.gen_plan ~reduce:true db oracle p.Middleware.tree p.Middleware.labels
+      Planner.default_params
+  in
+  let work plan = (Middleware.execute ~reduce:true p plan).Middleware.work in
+  let greedy = work (Planner.best_plan p.Middleware.tree r) in
+  let fully = work (Partition.fully_partitioned p.Middleware.tree) in
+  let unified_ou =
+    (Middleware.execute ~style:Sql_gen.Outer_union p
+       (Partition.unified p.Middleware.tree))
+      .Middleware.work
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "greedy %d <= fully %d" greedy fully)
+    true (greedy <= fully);
+  Alcotest.(check bool)
+    (Printf.sprintf "greedy %d < outer-union %d" greedy unified_ou)
+    true (greedy < unified_ou)
+
+let test_every_order_has_items () =
+  let _, p = setup ~scale:0.5 () in
+  let e = Middleware.execute ~reduce:true p (Partition.unified p.Middleware.tree) in
+  let doc = Middleware.document_of p e in
+  Xmlkit.Xml.fold_elements
+    (fun () el ->
+      if el.Xmlkit.Xml.tag = "order" then
+        Alcotest.(check bool) "order has items" true
+          (Xmlkit.Xml.children_named el "item" <> []))
+    () doc
+
+let suite =
+  [
+    Alcotest.test_case "shape" `Quick test_shape;
+    Alcotest.test_case "'+' label from inclusion" `Quick test_plus_label_from_declared_inclusion;
+    Alcotest.test_case "guaranteed branch inner join" `Quick test_guaranteed_branch_inner_join;
+    Alcotest.test_case "exhaustive 128 plans" `Slow test_exhaustive_256_plans;
+    Alcotest.test_case "DTD validity" `Quick test_dtd_validity;
+    Alcotest.test_case "thresholds transfer" `Quick test_thresholds_transfer;
+    Alcotest.test_case "guaranteed items present" `Quick test_every_order_has_items;
+  ]

@@ -1,0 +1,81 @@
+(* Relation: result sets, sorting, equality. *)
+
+open Relational
+
+let mk l = Array.of_list (List.map (fun n -> Value.Int n) l)
+
+let r1 () = Relation.create [| "a"; "b" |] [ mk [ 1; 2 ]; mk [ 3; 4 ] ]
+
+let test_create_checks_arity () =
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Relation.create: tuple arity 1, expected 2") (fun () ->
+      ignore (Relation.create [| "a"; "b" |] [ mk [ 1 ] ]))
+
+let test_basic_accessors () =
+  let r = r1 () in
+  Alcotest.(check int) "cardinality" 2 (Relation.cardinality r);
+  Alcotest.(check int) "arity" 2 (Relation.arity r);
+  Alcotest.(check (option int)) "column b" (Some 1) (Relation.column_index r "b");
+  Alcotest.(check (option int)) "missing col" None (Relation.column_index r "z")
+
+let test_column_index_exn () =
+  Alcotest.(check int) "found" 0 (Relation.column_index_exn (r1 ()) "a");
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Relation.column_index_exn (r1 ()) "nope");
+       false
+     with Invalid_argument _ -> true)
+
+let test_sort_stable_null_first () =
+  let rows =
+    [ mk [ 2; 0 ]; [| Value.Null; Value.Int 1 |]; mk [ 1; 2 ]; mk [ 1; 3 ] ]
+  in
+  let r = Relation.sort_by [| 0 |] (Relation.create [| "k"; "tag" |] rows) in
+  (match Relation.rows r with
+  | [ a; b; c; d ] ->
+      Alcotest.(check bool) "null row first" true (Value.is_null a.(0));
+      Alcotest.(check bool) "stable among equal keys" true
+        (Value.equal b.(1) (Value.Int 2) && Value.equal c.(1) (Value.Int 3));
+      Alcotest.(check bool) "largest last" true (Value.equal d.(0) (Value.Int 2))
+  | _ -> Alcotest.fail "wrong row count");
+  Alcotest.(check bool) "is_sorted_by" true (Relation.is_sorted_by [| 0 |] r)
+
+let test_equality () =
+  let a = Relation.create [| "x" |] [ mk [ 1 ]; mk [ 2 ] ] in
+  let b = Relation.create [| "x" |] [ mk [ 2 ]; mk [ 1 ] ] in
+  Alcotest.(check bool) "ordered equal fails" false (Relation.equal a b);
+  Alcotest.(check bool) "bag equal holds" true (Relation.equal_bag a b);
+  let c = Relation.create [| "y" |] [ mk [ 1 ]; mk [ 2 ] ] in
+  Alcotest.(check bool) "different cols" false (Relation.equal_bag a c)
+
+let test_wire_size () =
+  let r = r1 () in
+  Alcotest.(check int) "sum of tuple sizes"
+    (List.fold_left (fun acc t -> acc + Tuple.wire_size t) 0 (Relation.rows r))
+    (Relation.wire_size r)
+
+let suite =
+  [
+    Alcotest.test_case "create checks arity" `Quick test_create_checks_arity;
+    Alcotest.test_case "accessors" `Quick test_basic_accessors;
+    Alcotest.test_case "column_index_exn" `Quick test_column_index_exn;
+    Alcotest.test_case "stable sort, NULL first" `Quick test_sort_stable_null_first;
+    Alcotest.test_case "equality variants" `Quick test_equality;
+    Alcotest.test_case "wire size" `Quick test_wire_size;
+  ]
+
+let prop_sort_idempotent =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        map
+          (fun rows -> List.map (fun l -> mk l) rows)
+          (list_size (int_bound 20) (list_repeat 2 (int_bound 5))))
+  in
+  QCheck.Test.make ~name:"sort_by is idempotent" ~count:200 arb (fun rows ->
+      let r = Relation.create [| "a"; "b" |] rows in
+      let s1 = Relation.sort_by [| 0; 1 |] r in
+      let s2 = Relation.sort_by [| 0; 1 |] s1 in
+      Relation.equal s1 s2 && Relation.is_sorted_by [| 0; 1 |] s1)
+
+let props = [ prop_sort_idempotent ]

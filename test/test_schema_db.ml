@@ -1,0 +1,137 @@
+(* Schema declarations, catalog operations, integrity checking. *)
+
+open Relational
+
+let people_schema =
+  Schema.table "People" ~key:[ "id" ]
+    [
+      Schema.column "id" Value.TInt;
+      Schema.column "name" Value.TString;
+      Schema.column ~nullable:true "boss" Value.TInt;
+    ]
+
+let pets_schema =
+  Schema.table "Pets" ~key:[ "pid" ]
+    ~foreign_keys:
+      [ { Schema.fk_cols = [ "owner" ]; ref_table = "People"; ref_cols = [ "id" ] } ]
+    [
+      Schema.column "pid" Value.TInt;
+      Schema.column "owner" Value.TInt;
+      Schema.column "species" Value.TString;
+    ]
+
+let mkdb () =
+  let db = Database.create () in
+  Database.add_table db people_schema;
+  Database.add_table db pets_schema;
+  db
+
+let test_schema_helpers () =
+  Alcotest.(check int) "arity" 3 (Schema.arity people_schema);
+  Alcotest.(check (option int)) "column index" (Some 1)
+    (Schema.column_index people_schema "name");
+  Alcotest.(check bool) "has_column" true (Schema.has_column people_schema "boss");
+  Alcotest.(check bool) "missing" false (Schema.has_column people_schema "xyz");
+  Alcotest.(check (list string)) "names" [ "id"; "name"; "boss" ]
+    (Schema.column_names people_schema)
+
+let test_schema_key_must_exist () =
+  Alcotest.(check bool) "bad key rejected" true
+    (try
+       ignore (Schema.table "T" ~key:[ "nope" ] [ Schema.column "a" Value.TInt ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_insert_typecheck () =
+  let db = mkdb () in
+  Database.insert db "People"
+    [ [| Value.Int 1; Value.String "ann"; Value.Null |] ];
+  Alcotest.(check int) "row in" 1 (Database.row_count db "People");
+  Alcotest.(check bool) "type mismatch rejected" true
+    (try
+       Database.insert db "People" [ [| Value.String "x"; Value.String "y"; Value.Null |] ];
+       false
+     with Database.Constraint_violation _ -> true);
+  Alcotest.(check bool) "null in not-null rejected" true
+    (try
+       Database.insert db "People" [ [| Value.Null; Value.String "y"; Value.Null |] ];
+       false
+     with Database.Constraint_violation _ -> true);
+  Alcotest.(check bool) "arity mismatch rejected" true
+    (try
+       Database.insert db "People" [ [| Value.Int 2 |] ];
+       false
+     with Database.Constraint_violation _ -> true)
+
+let test_duplicate_table_rejected () =
+  let db = mkdb () in
+  Alcotest.(check bool) "dup rejected" true
+    (try
+       Database.add_table db people_schema;
+       false
+     with Invalid_argument _ -> true)
+
+let test_key_check () =
+  let db = mkdb () in
+  Database.load db "People"
+    [
+      [| Value.Int 1; Value.String "a"; Value.Null |];
+      [| Value.Int 1; Value.String "b"; Value.Null |];
+    ];
+  Alcotest.(check int) "one duplicate" 1 (List.length (Database.check_keys db "People"))
+
+let test_fk_check () =
+  let db = mkdb () in
+  Database.load db "People" [ [| Value.Int 1; Value.String "a"; Value.Null |] ];
+  Database.load db "Pets"
+    [
+      [| Value.Int 10; Value.Int 1; Value.String "cat" |];
+      [| Value.Int 11; Value.Int 99; Value.String "dog" |];
+    ];
+  Alcotest.(check int) "one dangling" 1
+    (List.length (Database.check_foreign_keys db "Pets"));
+  Alcotest.(check int) "integrity sums" 1 (List.length (Database.check_integrity db))
+
+let test_inclusion_check () =
+  let db = mkdb () in
+  Database.load db "People" [ [| Value.Int 1; Value.String "a"; Value.Null |] ];
+  Database.load db "Pets" [ [| Value.Int 10; Value.Int 1; Value.String "cat" |] ];
+  let holds =
+    { Schema.inc_table = "People"; inc_cols = [ "id" ]; inc_ref_table = "Pets";
+      inc_ref_cols = [ "owner" ] }
+  in
+  Alcotest.(check bool) "every person has a pet" true (Database.check_inclusion db holds);
+  Database.insert db "People" [ [| Value.Int 2; Value.String "b"; Value.Null |] ];
+  Alcotest.(check bool) "no longer total" false (Database.check_inclusion db holds)
+
+let test_declared_inclusions () =
+  let db = mkdb () in
+  let inc =
+    { Schema.inc_table = "People"; inc_cols = [ "id" ]; inc_ref_table = "Pets";
+      inc_ref_cols = [ "owner" ] }
+  in
+  Database.declare_inclusion db inc;
+  Alcotest.(check int) "recorded" 1 (List.length (Database.inclusions db))
+
+let test_to_relation_and_sizes () =
+  let db = mkdb () in
+  Database.load db "People" [ [| Value.Int 1; Value.String "ann"; Value.Null |] ];
+  let r = Database.to_relation db "People" in
+  Alcotest.(check int) "rows" 1 (Relation.cardinality r);
+  Alcotest.(check bool) "total rows" true (Database.total_rows db = 1);
+  Alcotest.(check bool) "total bytes positive" true (Database.total_bytes db > 0);
+  Alcotest.(check (list string)) "table names sorted" [ "People"; "Pets" ]
+    (Database.table_names db)
+
+let suite =
+  [
+    Alcotest.test_case "schema helpers" `Quick test_schema_helpers;
+    Alcotest.test_case "key columns must exist" `Quick test_schema_key_must_exist;
+    Alcotest.test_case "insert typechecking" `Quick test_insert_typecheck;
+    Alcotest.test_case "duplicate table rejected" `Quick test_duplicate_table_rejected;
+    Alcotest.test_case "primary key check" `Quick test_key_check;
+    Alcotest.test_case "foreign key check" `Quick test_fk_check;
+    Alcotest.test_case "inclusion dependency check" `Quick test_inclusion_check;
+    Alcotest.test_case "declared inclusions" `Quick test_declared_inclusions;
+    Alcotest.test_case "to_relation and sizes" `Quick test_to_relation_and_sizes;
+  ]

@@ -1,0 +1,173 @@
+(* Source-description files and CSV import/export. *)
+
+open Relational
+
+let desc_text =
+  {|
+# a bookstore
+table Publisher {
+  pubid int key
+  name  string
+  city  string null
+}
+table Book {
+  bid   int key
+  pubid int -> Publisher.pubid
+  title string
+  price float
+  fk (bid, pubid) -> Shadow(bid, pubid)   # composite, for syntax coverage
+}
+table Shadow {
+  bid   int key
+  pubid int key
+}
+inclusion Publisher(pubid) <= Book(pubid)
+|}
+
+let test_parse_structure () =
+  let d = Source_desc.parse desc_text in
+  Alcotest.(check int) "three tables" 3 (List.length d.Source_desc.tables);
+  Alcotest.(check int) "one inclusion" 1 (List.length d.Source_desc.inclusions);
+  let book = List.find (fun (t : Schema.table) -> t.name = "Book") d.Source_desc.tables in
+  Alcotest.(check int) "book columns" 4 (Schema.arity book);
+  Alcotest.(check (list string)) "book key" [ "bid" ] book.Schema.key;
+  Alcotest.(check int) "two FKs (single + composite)" 2
+    (List.length book.Schema.foreign_keys);
+  let pub = List.find (fun (t : Schema.table) -> t.name = "Publisher") d.Source_desc.tables in
+  (match Schema.find_column pub "city" with
+  | Some c -> Alcotest.(check bool) "city nullable" true c.Schema.nullable
+  | None -> Alcotest.fail "city missing")
+
+let test_round_trip () =
+  let d = Source_desc.parse desc_text in
+  let d2 = Source_desc.parse (Source_desc.to_string d) in
+  Alcotest.(check string) "fixpoint" (Source_desc.to_string d) (Source_desc.to_string d2)
+
+let test_to_database () =
+  let db = Source_desc.load_database desc_text in
+  Alcotest.(check (list string)) "tables" [ "Book"; "Publisher"; "Shadow" ]
+    (Database.table_names db);
+  Alcotest.(check int) "inclusion declared" 1 (List.length (Database.inclusions db))
+
+let test_of_database_round_trip () =
+  let db = Tpch.Gen.empty_database () in
+  let d = Source_desc.of_database db in
+  let db2 = Source_desc.to_database d in
+  Alcotest.(check (list string)) "same tables" (Database.table_names db)
+    (Database.table_names db2);
+  List.iter
+    (fun name ->
+      Alcotest.(check int) (name ^ " arity")
+        (Schema.arity (Database.schema db name))
+        (Schema.arity (Database.schema db2 name)))
+    (Database.table_names db)
+
+let test_parse_errors () =
+  let bad =
+    [ "table X {"; "bogus line"; "table X {\n  a unknowntype\n}";
+      "table X {\n  a int key\n}\ninclusion X(a) <= Y(b, c)" ]
+  in
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) ("rejects: " ^ String.escaped text) true
+        (try ignore (Source_desc.parse text); false
+         with Source_desc.Syntax_error _ -> true))
+    bad
+
+(* --- CSV ------------------------------------------------------------- *)
+
+let csv_db () =
+  let db = Source_desc.load_database
+      {|table T {
+          id   int key
+          name string
+          note string null
+          score float null
+        }|}
+  in
+  db
+
+let test_csv_parse_rows () =
+  Alcotest.(check (list (list string))) "basic"
+    [ [ "a"; "b" ]; [ "c"; "d" ] ]
+    (Csv.parse_rows "a,b\nc,d\n");
+  Alcotest.(check (list (list string))) "quotes and escapes"
+    [ [ "a,b"; "say \"hi\"" ] ]
+    (Csv.parse_rows "\"a,b\",\"say \"\"hi\"\"\"\n");
+  Alcotest.(check (list (list string))) "crlf and embedded newline"
+    [ [ "x"; "line1\nline2" ]; [ "y"; "z" ] ]
+    (Csv.parse_rows "x,\"line1\nline2\"\r\ny,z\r\n")
+
+let test_csv_load_typed () =
+  let db = csv_db () in
+  let n = Csv.load db "T" "id,name,note,score\n1,ann,,3.5\n2,bob,\"\",\n" in
+  Alcotest.(check int) "two rows" 2 n;
+  let rows = Database.raw_data db "T" in
+  (* row 1: unquoted empty note -> NULL; score 3.5 *)
+  Alcotest.(check bool) "null note" true (Value.is_null rows.(0).(2));
+  Alcotest.(check bool) "score" true (Value.equal rows.(0).(3) (Value.Float 3.5));
+  (* row 2: quoted empty note -> empty string; empty score -> NULL *)
+  Alcotest.(check bool) "empty string note" true
+    (Value.equal rows.(1).(2) (Value.String ""));
+  Alcotest.(check bool) "null score" true (Value.is_null rows.(1).(3))
+
+let test_csv_header_reorder_and_omit () =
+  let db = csv_db () in
+  let n = Csv.load db "T" "name,id\nann,1\nbob,2\n" in
+  Alcotest.(check int) "two rows" 2 n;
+  let rows = Database.raw_data db "T" in
+  Alcotest.(check bool) "id placed" true (Value.equal rows.(0).(0) (Value.Int 1));
+  Alcotest.(check bool) "omitted nullable is NULL" true (Value.is_null rows.(0).(2))
+
+let test_csv_errors () =
+  let db = csv_db () in
+  Alcotest.(check bool) "bad int" true
+    (try ignore (Csv.load db "T" "id,name\nxx,ann\n"); false
+     with Csv.Csv_error _ -> true);
+  Alcotest.(check bool) "unknown column" true
+    (try ignore (Csv.load db "T" "id,bogus\n1,x\n"); false
+     with Csv.Csv_error _ -> true);
+  Alcotest.(check bool) "field count" true
+    (try ignore (Csv.load db "T" "id,name\n1\n"); false
+     with Csv.Csv_error _ -> true);
+  Alcotest.(check bool) "missing NOT NULL" true
+    (try ignore (Csv.load db "T" "id\n1\n"); false with Csv.Csv_error _ -> true)
+
+let test_csv_export_round_trip () =
+  let db = csv_db () in
+  ignore
+    (Csv.load db "T"
+       "id,name,note,score\n1,\"a,b\",,0.25\n2,\"quote \"\"q\"\"\",\"\",\n");
+  let text = Csv.export db "T" in
+  let db2 = csv_db () in
+  ignore (Csv.load db2 "T" text);
+  Alcotest.(check bool) "round trip" true
+    (Relation.equal (Database.to_relation db "T") (Database.to_relation db2 "T"))
+
+let test_csv_tpch_round_trip () =
+  (* export/import a whole generated TPC-H database *)
+  let db = Tpch.Gen.generate (Tpch.Gen.config 0.2) in
+  let db2 = Tpch.Gen.empty_database () in
+  List.iter
+    (fun name -> ignore (Csv.load db2 name (Csv.export db name)))
+    (Database.table_names db);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " identical") true
+        (Relation.equal (Database.to_relation db name) (Database.to_relation db2 name)))
+    (Database.table_names db)
+
+let suite =
+  [
+    Alcotest.test_case "source: parse structure" `Quick test_parse_structure;
+    Alcotest.test_case "source: round trip" `Quick test_round_trip;
+    Alcotest.test_case "source: to database" `Quick test_to_database;
+    Alcotest.test_case "source: of_database round trip" `Quick test_of_database_round_trip;
+    Alcotest.test_case "source: rejects malformed" `Quick test_parse_errors;
+    Alcotest.test_case "csv: record parsing" `Quick test_csv_parse_rows;
+    Alcotest.test_case "csv: typed load, NULL vs empty" `Quick test_csv_load_typed;
+    Alcotest.test_case "csv: header reorder/omit" `Quick test_csv_header_reorder_and_omit;
+    Alcotest.test_case "csv: error reporting" `Quick test_csv_errors;
+    Alcotest.test_case "csv: export round trip" `Quick test_csv_export_round_trip;
+    Alcotest.test_case "csv: TPC-H round trip" `Quick test_csv_tpch_round_trip;
+  ]

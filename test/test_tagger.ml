@@ -1,0 +1,279 @@
+(* The merge tagger (paper Sec. 3.3): stream merging, nesting, document
+   order, fused-payload emission, sinks. *)
+
+open Silkroute
+module R = Relational
+
+let setup ?(scale = 0.1) text =
+  let db = Tpch.Gen.generate (Tpch.Gen.config scale) in
+  (db, Middleware.prepare_text db text)
+
+let doc_of ?(style = Sql_gen.Outer_join) ?(reduce = false) _db p mask =
+  let plan = Partition.of_mask p.Middleware.tree mask in
+  let e = Middleware.execute ~style ~reduce p plan in
+  Middleware.document_of p e
+
+let test_figure8_output () =
+  (* the paper's Fig. 8: exact expected document *)
+  let db = Tpch.Gen.figure8_database () in
+  let p = Middleware.prepare_text db Queries.fragment_text in
+  let e = Middleware.execute p (Partition.unified p.Middleware.tree) in
+  Alcotest.(check string) "matches Fig. 8"
+    "<suppliers><supplier><nation>USA</nation><part>plated brass</part>\
+     <part>anodized steel</part></supplier><supplier><nation>Spain</nation>\
+     </supplier><supplier><nation>France</nation><part>polished nickel</part>\
+     </supplier></suppliers>"
+    (Middleware.xml_string_of p e)
+
+let test_all_plans_agree_fragment () =
+  let db = Tpch.Gen.figure8_database () in
+  let p = Middleware.prepare_text db Queries.fragment_text in
+  let reference = doc_of db p 3 in
+  List.iter
+    (fun mask ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mask %d agrees" mask)
+        true
+        (Xmlkit.Xml.equal (doc_of db p mask) reference))
+    [ 0; 1; 2 ]
+
+let test_document_order_q1 () =
+  let db, p = setup Queries.query1_text in
+  let doc = doc_of db p 511 in
+  (* every supplier's children follow the DTD order name,nation,region,part* *)
+  let suppliers = Xmlkit.Xml.children_named (Xmlkit.Xml.root doc) "supplier" in
+  Alcotest.(check bool) "has suppliers" true (List.length suppliers > 0);
+  List.iter
+    (fun s ->
+      let tags =
+        List.map (fun (e : Xmlkit.Xml.element) -> e.Xmlkit.Xml.tag)
+          (Xmlkit.Xml.child_elements s)
+      in
+      match tags with
+      | "name" :: "nation" :: "region" :: rest ->
+          Alcotest.(check bool) "parts last" true
+            (List.for_all (fun t -> t = "part") rest)
+      | _ -> Alcotest.fail ("bad order: " ^ String.concat "," tags))
+    suppliers
+
+let test_dtd_validity_q1_q2 () =
+  let db = Tpch.Gen.generate (Tpch.Gen.config 0.2) in
+  let p1 = Middleware.prepare_text db Queries.query1_text in
+  let d1 = Middleware.document_of p1 (Middleware.execute p1 (Partition.unified p1.Middleware.tree)) in
+  Alcotest.(check (list string)) "Q1 valid" []
+    (List.map (fun e -> Format.asprintf "%a" Xmlkit.Validate.pp_error e)
+       (Xmlkit.Validate.validate Queries.dtd_query1 d1));
+  let p2 = Middleware.prepare_text db Queries.query2_text in
+  let d2 = Middleware.document_of p2 (Middleware.execute p2 (Partition.unified p2.Middleware.tree)) in
+  Alcotest.(check bool) "Q2 valid" true (Xmlkit.Validate.is_valid Queries.dtd_query2 d2)
+
+let test_supplier_without_parts_kept () =
+  (* outer-join semantics: part-less suppliers still appear *)
+  let db = Tpch.Gen.generate (Tpch.Gen.config 1.0) in
+  let p = Middleware.prepare_text db Queries.query1_text in
+  let doc = Middleware.document_of p (Middleware.execute p (Partition.unified p.Middleware.tree)) in
+  let suppliers = Xmlkit.Xml.children_named (Xmlkit.Xml.root doc) "supplier" in
+  Alcotest.(check int) "all suppliers present" (R.Database.row_count db "Supplier")
+    (List.length suppliers);
+  Alcotest.(check bool) "some have no parts" true
+    (List.exists
+       (fun s -> Xmlkit.Xml.children_named s "part" = [])
+       suppliers)
+
+let test_reduced_equals_non_reduced () =
+  let db, p = setup ~scale:0.3 Queries.query2_text in
+  List.iter
+    (fun mask ->
+      let a = doc_of db p mask in
+      let b = doc_of ~reduce:true db p mask in
+      let c = doc_of ~style:Sql_gen.Outer_union db p mask in
+      let d = doc_of ~style:Sql_gen.Outer_union ~reduce:true db p mask in
+      Alcotest.(check bool) "reduce invariant" true (Xmlkit.Xml.equal a b);
+      Alcotest.(check bool) "outer-union invariant" true (Xmlkit.Xml.equal a c);
+      Alcotest.(check bool) "both invariant" true (Xmlkit.Xml.equal a d))
+    [ 0; 10; 101; 511 ]
+
+let test_empty_database () =
+  let db = Tpch.Gen.empty_database () in
+  let p = Middleware.prepare_text db Queries.query1_text in
+  let e = Middleware.execute p (Partition.unified p.Middleware.tree) in
+  (* the streaming sink cannot self-close (it writes the open tag before
+     knowing the element is empty) *)
+  Alcotest.(check string) "just the root" "<suppliers></suppliers>"
+    (Middleware.xml_string_of p e);
+  Alcotest.(check string) "document sink self-closes" "<suppliers/>"
+    (Xmlkit.Serialize.to_string (Middleware.document_of p e))
+
+let test_buffer_and_document_sinks_agree () =
+  let _db, p = setup Queries.query1_text in
+  let e = Middleware.execute p (Partition.of_mask p.Middleware.tree 37) in
+  let via_string = Middleware.xml_string_of p e in
+  let via_doc = Xmlkit.Serialize.to_string (Middleware.document_of p e) in
+  Alcotest.(check string) "agree" via_doc via_string
+
+let test_tagger_output_parses () =
+  let _db, p = setup Queries.query2_text in
+  let e = Middleware.execute p (Partition.unified p.Middleware.tree) in
+  let doc = Xmlkit.Parse.parse (Middleware.xml_string_of p e) in
+  Alcotest.(check bool) "well-formed" true
+    (Xmlkit.Xml.equal doc (Middleware.document_of p e))
+
+let test_escaping_through_tagger () =
+  let db = Tpch.Gen.empty_database () in
+  R.Database.load db "Region" [ [| R.Value.Int 1; R.Value.String "A&B <Ltd>" |] ];
+  let p =
+    Middleware.prepare_text db
+      "view regions { from Region $r construct <region>$r.name</region> }"
+  in
+  let e = Middleware.execute p (Partition.unified p.Middleware.tree) in
+  Alcotest.(check string) "escaped"
+    "<regions><region>A&amp;B &lt;Ltd&gt;</region></regions>"
+    (Middleware.xml_string_of p e)
+
+let test_constant_content () =
+  let db = Tpch.Gen.figure8_database () in
+  let p =
+    Middleware.prepare_text db
+      "view v { from Region $r construct <region><kind>'geo'</kind><n>$r.name</n></region> }"
+  in
+  let e = Middleware.execute p (Partition.unified p.Middleware.tree) in
+  let doc = Middleware.document_of p e in
+  let regions = Xmlkit.Xml.children_named (Xmlkit.Xml.root doc) "region" in
+  Alcotest.(check int) "three regions" 3 (List.length regions);
+  List.iter
+    (fun r ->
+      match Xmlkit.Xml.children_named r "kind" with
+      | [ k ] -> Alcotest.(check string) "constant" "geo" (Xmlkit.Xml.text_content k)
+      | _ -> Alcotest.fail "kind missing")
+    regions
+
+let test_mixed_text_and_children () =
+  (* an element with both text and element children, split across
+     fragments: text must precede the child (document order) *)
+  let db = Tpch.Gen.figure8_database () in
+  let p =
+    Middleware.prepare_text db
+      {|view v { from Nation $n construct
+          <nation>$n.name
+            { from Region $r where $n.regionkey = $r.regionkey
+              construct <region>$r.name</region> } </nation> }|}
+  in
+  List.iter
+    (fun mask ->
+      let e = Middleware.execute p (Partition.of_mask p.Middleware.tree mask) in
+      let doc = Middleware.document_of p e in
+      let nations = Xmlkit.Xml.children_named (Xmlkit.Xml.root doc) "nation" in
+      Alcotest.(check int) "three nations" 3 (List.length nations);
+      List.iter
+        (fun (n : Xmlkit.Xml.element) ->
+          match n.Xmlkit.Xml.children with
+          | Xmlkit.Xml.Text _ :: Xmlkit.Xml.Element { Xmlkit.Xml.tag = "region"; _ } :: [] -> ()
+          | _ -> Alcotest.fail "text must precede region child")
+        nations)
+    [ 0; 1 ]
+
+let test_parallel_top_queries_forest () =
+  (* a view-tree forest: two parallel top-level queries under one root *)
+  let db = Tpch.Gen.figure8_database () in
+  let p =
+    Middleware.prepare_text db
+      {|view directory
+        { from Supplier $s construct <supplier>$s.name</supplier> }
+        { from Nation $n construct <nation>$n.name</nation> }|}
+  in
+  let truth = Middleware.materialize_naive p in
+  List.iter
+    (fun mask ->
+      let e = Middleware.execute p (Partition.of_mask p.Middleware.tree mask) in
+      Alcotest.(check bool) (Printf.sprintf "mask %d" mask) true
+        (Xmlkit.Xml.equal (Middleware.document_of p e) truth))
+    (Partition.all_masks p.Middleware.tree);
+  (* all suppliers precede all nations (document order of top queries) *)
+  let tags =
+    List.map (fun (e : Xmlkit.Xml.element) -> e.Xmlkit.Xml.tag)
+      (Xmlkit.Xml.child_elements (Xmlkit.Xml.root truth))
+  in
+  Alcotest.(check (list string)) "forest order"
+    [ "supplier"; "supplier"; "supplier"; "nation"; "nation"; "nation" ] tags
+
+let test_constant_space_depth_bound () =
+  (* Sec. 3.3: tagger memory depends on the view tree, not the database.
+     Track the open-element stack depth through a custom sink: it must
+     never exceed the view-tree depth + 1 (the document root), at any
+     database scale. *)
+  let check scale =
+    let db = Tpch.Gen.generate (Tpch.Gen.config scale) in
+    let p = Middleware.prepare_text db Queries.query1_text in
+    let e = Middleware.execute p (Partition.of_mask p.Middleware.tree 237) in
+    let depth = ref 0 and max_depth = ref 0 in
+    let sink =
+      {
+        Tagger.on_open =
+          (fun _ ->
+            incr depth;
+            if !depth > !max_depth then max_depth := !depth);
+        on_text = (fun _ -> ());
+        on_close = (fun _ -> decr depth);
+      }
+    in
+    Tagger.tag p.Middleware.tree e.Middleware.streams sink;
+    Alcotest.(check int) "balanced" 0 !depth;
+    !max_depth
+  in
+  let tree_depth = 4 (* Query 1: supplier/part/order/leaf *) in
+  let small = check 0.1 and large = check 0.8 in
+  Alcotest.(check int) "bounded by tree depth (small)" (tree_depth + 1) small;
+  Alcotest.(check int) "independent of database size" small large
+
+let test_sibling_order_deterministic () =
+  (* sibling instances appear in key order (the ORDER BY sort keys),
+     identically across plans *)
+  let db = Tpch.Gen.generate (Tpch.Gen.config 0.3) in
+  let p = Middleware.prepare_text db Queries.query1_text in
+  let names_of mask =
+    let e = Middleware.execute p (Partition.of_mask p.Middleware.tree mask) in
+    let doc = Middleware.document_of p e in
+    Xmlkit.Xml.children_named (Xmlkit.Xml.root doc) "supplier"
+    |> List.concat_map (fun s -> Xmlkit.Xml.children_named s "part")
+    |> List.filter_map (fun part ->
+           match Xmlkit.Xml.children_named part "name" with
+           | [ n ] -> Some (Xmlkit.Xml.text_content n)
+           | _ -> None)
+  in
+  let a = names_of 0 and b = names_of 511 and c = names_of 73 in
+  Alcotest.(check (list string)) "plan-independent order" a b;
+  Alcotest.(check (list string)) "plan-independent order 2" a c
+
+let suite =
+  [
+    Alcotest.test_case "Fig. 8 exact output" `Quick test_figure8_output;
+    Alcotest.test_case "constant-space depth bound" `Quick test_constant_space_depth_bound;
+    Alcotest.test_case "deterministic sibling order" `Quick test_sibling_order_deterministic;
+    Alcotest.test_case "parallel top-level queries" `Quick test_parallel_top_queries_forest;
+    Alcotest.test_case "all fragment plans agree" `Quick test_all_plans_agree_fragment;
+    Alcotest.test_case "document order (Q1)" `Quick test_document_order_q1;
+    Alcotest.test_case "DTD validity (Q1, Q2)" `Quick test_dtd_validity_q1_q2;
+    Alcotest.test_case "part-less suppliers kept" `Quick test_supplier_without_parts_kept;
+    Alcotest.test_case "reduce/style invariance" `Quick test_reduced_equals_non_reduced;
+    Alcotest.test_case "empty database" `Quick test_empty_database;
+    Alcotest.test_case "sinks agree" `Quick test_buffer_and_document_sinks_agree;
+    Alcotest.test_case "output parses back" `Quick test_tagger_output_parses;
+    Alcotest.test_case "escaping" `Quick test_escaping_through_tagger;
+    Alcotest.test_case "constant content" `Quick test_constant_content;
+    Alcotest.test_case "mixed text + children" `Quick test_mixed_text_and_children;
+  ]
+
+(* Property: every plan mask produces the same document as the naive
+   materialization, on a random small database. *)
+let prop_all_plans_correct =
+  QCheck.Test.make ~name:"random plan = naive materialization" ~count:40
+    (QCheck.make QCheck.Gen.(pair (int_bound 511) (oneofl [ `Q1; `Q2 ])))
+    (fun (mask, q) ->
+      let db = Tpch.Gen.generate (Tpch.Gen.config 0.1) in
+      let text = match q with `Q1 -> Queries.query1_text | `Q2 -> Queries.query2_text in
+      let p = Middleware.prepare_text db text in
+      let truth = Middleware.materialize_naive p in
+      let e = Middleware.execute p (Partition.of_mask p.Middleware.tree mask) in
+      Xmlkit.Xml.equal (Middleware.document_of p e) truth)
+
+let props = [ prop_all_plans_correct ]

@@ -1,0 +1,139 @@
+(* Value: three-valued comparison, total order, SQL literals, wire sizes. *)
+
+open Relational
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let test_total_order_null_first () =
+  Alcotest.(check bool) "null < int" true (Value.compare_total Value.Null (Value.Int 0) < 0);
+  Alcotest.(check bool) "null < negative" true
+    (Value.compare_total Value.Null (Value.Int min_int) < 0);
+  Alcotest.(check bool) "null < string" true
+    (Value.compare_total Value.Null (Value.String "") < 0);
+  Alcotest.(check bool) "null = null" true (Value.compare_total Value.Null Value.Null = 0)
+
+let test_total_order_numeric () =
+  Alcotest.(check bool) "1 < 2" true (Value.compare_total (Value.Int 1) (Value.Int 2) < 0);
+  Alcotest.(check bool) "int/float cross" true
+    (Value.compare_total (Value.Int 1) (Value.Float 1.5) < 0);
+  Alcotest.(check bool) "float/int cross" true
+    (Value.compare_total (Value.Float 2.5) (Value.Int 2) > 0);
+  Alcotest.(check bool) "int = float equal" true
+    (Value.compare_total (Value.Int 2) (Value.Float 2.0) = 0)
+
+let test_total_order_strings_dates () =
+  Alcotest.(check bool) "abc < abd" true
+    (Value.compare_total (Value.String "abc") (Value.String "abd") < 0);
+  Alcotest.(check bool) "dates by day" true
+    (Value.compare_total (Value.Date 100) (Value.Date 200) < 0)
+
+let test_compare3_null_unknown () =
+  Alcotest.(check (option int)) "null vs int" None
+    (Value.compare3 Value.Null (Value.Int 1));
+  Alcotest.(check (option int)) "int vs null" None
+    (Value.compare3 (Value.Int 1) Value.Null);
+  Alcotest.(check (option int)) "null vs null" None
+    (Value.compare3 Value.Null Value.Null)
+
+let test_compare3_values () =
+  Alcotest.(check (option int)) "1 vs 1" (Some 0)
+    (Value.compare3 (Value.Int 1) (Value.Int 1));
+  Alcotest.(check bool) "a < b" true
+    (match Value.compare3 (Value.String "a") (Value.String "b") with
+    | Some c -> c < 0
+    | None -> false)
+
+let test_equal_treats_null_reflexively () =
+  (* equal is the total-order equality, used for grouping; SQL predicate
+     semantics live in compare3 *)
+  Alcotest.(check bool) "null = null under grouping" true
+    (Value.equal Value.Null Value.Null);
+  Alcotest.(check bool) "distinct ints" false
+    (Value.equal (Value.Int 1) (Value.Int 2))
+
+let test_hash_consistent_with_equal () =
+  let pairs =
+    [ (Value.Int 42, Value.Int 42); (Value.String "x", Value.String "x");
+      (Value.Null, Value.Null); (Value.Bool true, Value.Bool true);
+      (Value.Date 7, Value.Date 7) ]
+  in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) "equal implies same hash" true
+        ((not (Value.equal a b)) || Value.hash a = Value.hash b))
+    pairs
+
+let test_to_sql_round_trip_string_quoting () =
+  Alcotest.(check string) "simple" "'abc'" (Value.to_sql (Value.String "abc"));
+  Alcotest.(check string) "embedded quote" "'it''s'" (Value.to_sql (Value.String "it's"));
+  Alcotest.(check string) "null" "NULL" (Value.to_sql Value.Null);
+  Alcotest.(check string) "bool" "TRUE" (Value.to_sql (Value.Bool true))
+
+let test_wire_sizes () =
+  Alcotest.(check bool) "null cheapest" true
+    (Value.wire_size Value.Null < Value.wire_size (Value.Int 0));
+  Alcotest.(check int) "string scales" (2 + 5) (Value.wire_size (Value.String "hello"));
+  Alcotest.(check bool) "null not free" true (Value.wire_size Value.Null > 0)
+
+let test_type_of () =
+  Alcotest.(check bool) "null has no type" true (Value.type_of Value.Null = None);
+  Alcotest.(check bool) "int typed" true (Value.type_of (Value.Int 1) = Some Value.TInt);
+  Alcotest.(check string) "ty name" "VARCHAR" (Value.ty_name Value.TString)
+
+let test_testable_sanity () =
+  Alcotest.check v "same value" (Value.Int 3) (Value.Int 3)
+
+let suite =
+  [
+    Alcotest.test_case "total order: NULL first" `Quick test_total_order_null_first;
+    Alcotest.test_case "total order: numerics" `Quick test_total_order_numeric;
+    Alcotest.test_case "total order: strings and dates" `Quick test_total_order_strings_dates;
+    Alcotest.test_case "compare3: NULL is unknown" `Quick test_compare3_null_unknown;
+    Alcotest.test_case "compare3: values" `Quick test_compare3_values;
+    Alcotest.test_case "grouping equality" `Quick test_equal_treats_null_reflexively;
+    Alcotest.test_case "hash consistent with equal" `Quick test_hash_consistent_with_equal;
+    Alcotest.test_case "SQL literal quoting" `Quick test_to_sql_round_trip_string_quoting;
+    Alcotest.test_case "wire sizes" `Quick test_wire_sizes;
+    Alcotest.test_case "type_of / ty_name" `Quick test_type_of;
+    Alcotest.test_case "testable" `Quick test_testable_sanity;
+  ]
+
+(* property tests *)
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun n -> Value.Int n) small_signed_int;
+        map (fun f -> Value.Float f) (float_bound_inclusive 1000.0);
+        map (fun b -> Value.Bool b) bool;
+        map (fun s -> Value.String s) (string_size (int_bound 12));
+        map (fun d -> Value.Date d) (int_bound 10000);
+      ])
+
+let arb_value = QCheck.make ~print:Value.to_string gen_value
+
+let prop_total_order_antisym =
+  QCheck.Test.make ~name:"compare_total antisymmetric" ~count:500
+    (QCheck.pair arb_value arb_value) (fun (a, b) ->
+      let c1 = Value.compare_total a b and c2 = Value.compare_total b a in
+      (c1 = 0 && c2 = 0) || (c1 > 0 && c2 < 0) || (c1 < 0 && c2 > 0))
+
+let prop_total_order_trans =
+  QCheck.Test.make ~name:"compare_total transitive" ~count:500
+    (QCheck.triple arb_value arb_value arb_value) (fun (a, b, c) ->
+      let sorted = List.sort Value.compare_total [ a; b; c ] in
+      match sorted with
+      | [ x; y; z ] ->
+          Value.compare_total x y <= 0 && Value.compare_total y z <= 0
+          && Value.compare_total x z <= 0
+      | _ -> false)
+
+let prop_compare3_agrees =
+  QCheck.Test.make ~name:"compare3 agrees with total order on non-null" ~count:500
+    (QCheck.pair arb_value arb_value) (fun (a, b) ->
+      match Value.compare3 a b with
+      | None -> Value.is_null a || Value.is_null b
+      | Some c -> c = Value.compare_total a b)
+
+let props = [ prop_total_order_antisym; prop_total_order_trans; prop_compare3_agrees ]

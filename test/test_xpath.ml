@@ -1,0 +1,95 @@
+(* XPath-subset evaluator: parsing, axes, predicates, and use against a
+   materialized paper view. *)
+
+open Xmlkit
+
+let doc () =
+  Parse.parse
+    {|<lib><shelf n="1"><book><title>A</title><year>1999</year></book>
+       <book><title>B</title><year>2001</year></book></shelf>
+       <shelf n="2"><book><title>C</title><year>2001</year></book></shelf></lib>|}
+
+let titles d path = Xpath.select_text d path
+
+let test_child_axis () =
+  let d = doc () in
+  Alcotest.(check int) "two shelves" 2 (Xpath.count d "/lib/shelf");
+  Alcotest.(check int) "root only" 1 (Xpath.count d "/lib");
+  Alcotest.(check int) "wrong root" 0 (Xpath.count d "/zzz")
+
+let test_descendant_axis () =
+  let d = doc () in
+  Alcotest.(check int) "all books" 3 (Xpath.count d "//book");
+  Alcotest.(check (list string)) "all titles" [ "A"; "B"; "C" ]
+    (titles d "//book/title");
+  Alcotest.(check int) "descendant under child" 3
+    (Xpath.count d "/lib/shelf[1]//title" + Xpath.count d "/lib/shelf[2]//title")
+
+let test_wildcard () =
+  let d = doc () in
+  Alcotest.(check int) "shelf children" 2 (Xpath.count d "/lib/*");
+  Alcotest.(check int) "grandchildren" 3 (Xpath.count d "/lib/*/book")
+
+let test_positional_predicate () =
+  let d = doc () in
+  Alcotest.(check (list string)) "first shelf titles" [ "A"; "B" ]
+    (titles d "/lib/shelf[1]/book/title");
+  Alcotest.(check (list string)) "second book of first shelf" [ "B" ]
+    (titles d "/lib/shelf[1]/book[2]/title");
+  Alcotest.(check int) "out of range" 0 (Xpath.count d "/lib/shelf[9]")
+
+let test_child_value_predicate () =
+  let d = doc () in
+  Alcotest.(check (list string)) "books from 2001" [ "B"; "C" ]
+    (titles d "//book[year='2001']/title");
+  Alcotest.(check (list string)) "existence predicate" [ "A"; "B"; "C" ]
+    (titles d "//book[title]/title");
+  Alcotest.(check int) "no match" 0 (Xpath.count d "//book[year='1800']")
+
+let test_exists () =
+  let d = doc () in
+  Alcotest.(check bool) "exists" true (Xpath.exists d "//book[title='C']");
+  Alcotest.(check bool) "not exists" false (Xpath.exists d "//pamphlet")
+
+let test_parse_errors () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) ("rejects " ^ p) true
+        (try ignore (Xpath.parse p); false with Xpath.Parse_error _ -> true))
+    [ ""; "lib"; "/"; "/lib["; "/lib[1"; "/lib[x='y" ]
+
+let test_against_materialized_view () =
+  (* extract fragments of the paper's Query 1 view, the usage scenario of
+     the paper's introduction *)
+  let db = Tpch.Gen.generate (Tpch.Gen.config 0.3) in
+  let p = Silkroute.Middleware.prepare_text db Silkroute.Queries.query1_text in
+  let e =
+    Silkroute.Middleware.execute ~reduce:true p
+      (Silkroute.Partition.unified p.Silkroute.Middleware.tree)
+  in
+  let doc = Silkroute.Middleware.document_of p e in
+  Alcotest.(check int) "one supplier element per supplier row"
+    (Relational.Database.row_count db "Supplier")
+    (Xpath.count doc "/suppliers/supplier");
+  (* every part has exactly one name *)
+  Alcotest.(check int) "part names = parts"
+    (Xpath.count doc "//part")
+    (Xpath.count doc "//part/name");
+  (* fragment extraction by value *)
+  match Xpath.select_text doc "/suppliers/supplier[1]/name" with
+  | [ name ] ->
+      Alcotest.(check bool) "first supplier findable by name" true
+        (Xpath.exists doc (Printf.sprintf "//supplier[name='%s']" name))
+  | _ -> Alcotest.fail "expected one name"
+
+let suite =
+  [
+    Alcotest.test_case "child axis" `Quick test_child_axis;
+    Alcotest.test_case "descendant axis" `Quick test_descendant_axis;
+    Alcotest.test_case "wildcard" `Quick test_wildcard;
+    Alcotest.test_case "positional predicate" `Quick test_positional_predicate;
+    Alcotest.test_case "child value predicate" `Quick test_child_value_predicate;
+    Alcotest.test_case "exists" `Quick test_exists;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "fragments of a materialized view" `Quick test_against_materialized_view;
+  ]
