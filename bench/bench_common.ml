@@ -53,6 +53,37 @@ let prepare cfg text =
   let db = Tpch.Gen.generate (Tpch.Gen.config cfg.scale) in
   (db, S.Middleware.prepare_text db text)
 
+(* --- observability ----------------------------------------------------- *)
+
+(* With --obs-jsonl FILE the harness traces every experiment and appends
+   one batch of JSONL records per experiment (tagged with the experiment
+   id), so BENCH_*.json trajectories can carry stage-level breakdowns
+   and two runs can be diffed span by span. *)
+let obs_channel : out_channel option ref = ref None
+
+let enable_obs path =
+  Obs.Control.set_enabled true;
+  obs_channel := Some (open_out path)
+
+let record_experiment name f =
+  match !obs_channel with
+  | None -> f ()
+  | Some oc ->
+      Obs.Span.reset ();
+      Obs.Metrics.reset ();
+      Obs.Span.with_span "experiment"
+        ~attrs:[ Obs.Attr.string "name" name ]
+        f;
+      Obs.Jsonl.write_channel ~experiment:name oc;
+      flush oc
+
+let finish_obs () =
+  match !obs_channel with
+  | None -> ()
+  | Some oc ->
+      close_out oc;
+      obs_channel := None
+
 let print_header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 

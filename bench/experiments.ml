@@ -234,9 +234,10 @@ let requests () =
             S.Planner.gen_plan ~reduce db oracle p.S.Middleware.tree
               p.S.Middleware.labels S.Planner.default_params
           in
-          Printf.printf "%s %s: %d requests (worst case |E|^2 = 81)\n" qname
+          Printf.printf
+            "%s %s: %d requests, %d cache hits (worst case |E|^2 = 81)\n" qname
             (if reduce then "(reduced)    " else "(non-reduced)")
-            r.S.Planner.requests)
+            r.S.Planner.requests r.S.Planner.cache_hits)
         [ false; true ])
     [ ("Query 1", S.Queries.query1_text); ("Query 2", S.Queries.query2_text) ];
   Printf.printf "(paper: 22 non-reduced, 25 reduced)\n"

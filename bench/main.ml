@@ -3,7 +3,9 @@
    With no arguments: run every experiment (each table and figure of the
    paper) and the bechamel micro-benchmarks.  With --experiment <id>:
    run one of table1 | sec2 | fig13 | fig14 | fig15 | fig18 | ranks |
-   requests | ablation | micro. *)
+   requests | ablation | micro.  With --obs-jsonl <file>: trace every
+   experiment through lib/obs and append per-experiment JSONL records
+   (spans + metrics, tagged with the experiment id) to <file>. *)
 
 let experiments =
   [
@@ -21,23 +23,36 @@ let experiments =
   ]
 
 let usage () =
-  Printf.printf "usage: main.exe [--experiment <id>]\n  ids: %s | all\n"
+  Printf.printf
+    "usage: main.exe [--experiment <id>] [--obs-jsonl <file>]\n  ids: %s | all\n"
     (String.concat " | " (List.map fst experiments));
   exit 1
 
+let run_all () =
+  List.iter (fun (id, f) -> Bench_common.record_experiment id f) experiments
+
 let () =
-  let args = Array.to_list Sys.argv in
-  match args with
-  | [ _ ] ->
+  let rec parse id jsonl = function
+    | [] -> (id, jsonl)
+    | "--experiment" :: x :: rest -> parse (Some x) jsonl rest
+    | "--obs-jsonl" :: f :: rest -> parse id (Some f) rest
+    | [ x ] when id = None && String.length x > 0 && x.[0] <> '-' ->
+        (Some x, jsonl)
+    | _ -> usage ()
+  in
+  let id, jsonl = parse None None (List.tl (Array.to_list Sys.argv)) in
+  (match jsonl with Some f -> Bench_common.enable_obs f | None -> ());
+  (match id with
+  | None ->
       Printf.printf
         "SilkRoute experiment harness — reproducing 'Efficient Evaluation of\n\
          XML Middle-ware Queries' (SIGMOD 2001). Simulated times are\n\
          deterministic (engine work units / %.0f per ms); see EXPERIMENTS.md.\n"
         Bench_common.work_per_ms;
-      Experiments.all ();
-      Micro.run ()
-  | [ _; "--experiment"; id ] | [ _; id ] -> (
-      match (if id = "all" then Some Experiments.all else List.assoc_opt id experiments) with
-      | Some f -> f ()
-      | None -> usage ())
-  | _ -> usage ()
+      run_all ()
+  | Some "all" -> run_all ()
+  | Some id -> (
+      match List.assoc_opt id experiments with
+      | Some f -> Bench_common.record_experiment id f
+      | None -> usage ()));
+  Bench_common.finish_obs ()

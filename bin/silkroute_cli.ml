@@ -7,7 +7,16 @@
      silkroute run --query q1 --scale 0.5 --strategy greedy
      silkroute run --view my_view.rxl --strategy edges:37 --no-reduce
      silkroute explain --query q2
-     silkroute plan --query q1 --scale 1.0 *)
+     silkroute plan --query q1 --scale 1.0
+
+   Observability (lib/obs): --trace prints the span tree of the pipeline
+   (prepare / plan / sqlgen / execute / tag, with durations and work
+   attributes) to stderr, --metrics the metrics registry, and
+   --trace-json FILE writes both as JSON Lines for diffing runs:
+
+     silkroute run -q q1 --scale 0.2 --trace
+     silkroute run -q q1 --trace-json trace.jsonl --metrics
+     silkroute plan -q q2 --trace *)
 
 module R = Relational
 module S = Silkroute
@@ -74,9 +83,42 @@ let verbose_arg =
   let doc = "Log middleware activity (plans, streams) to stderr." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Trace the pipeline and print the span tree (per-stage durations, work \
+     units, rows) to stderr after the command finishes."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let trace_json_arg =
+  let doc =
+    "Write the recorded spans and metrics as JSON Lines to $(docv) (one JSON \
+     object per line; see docs/OBSERVABILITY.md for the schema)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print the metrics registry (counters, gauges, histograms) to stderr \
+     after the command finishes."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ~dst:Format.err_formatter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+(* Enable observability before any pipeline stage runs; emit the chosen
+   sinks after everything finished. *)
+let setup_obs ~trace ~trace_json ~metrics =
+  if trace || metrics || trace_json <> None then Obs.Control.set_enabled true
+
+let report_obs ~trace ~trace_json ~metrics =
+  if trace then prerr_string (Obs.Report.render_spans ());
+  if metrics then prerr_string (Obs.Report.render_metrics ());
+  match trace_json with
+  | Some path -> Obs.Jsonl.write_file path
+  | None -> ()
 
 let parse_strategy s =
   match String.lowercase_ascii s with
@@ -118,8 +160,9 @@ let setup query view_file scale seed schema data =
   (db, S.Middleware.prepare_text db text)
 
 let run_cmd query view_file scale seed schema data strategy no_reduce pretty
-    verbose =
+    verbose trace trace_json metrics =
   setup_logs verbose;
+  setup_obs ~trace ~trace_json ~metrics;
   let db, p = setup query view_file scale seed schema data in
   ignore db;
   let plan = S.Middleware.partition_of p (parse_strategy strategy) in
@@ -129,7 +172,8 @@ let run_cmd query view_file scale seed schema data strategy no_reduce pretty
   else print_endline (S.Middleware.xml_string_of p e);
   Printf.eprintf "[%d stream(s), %d tuples, %d work units, %.1f ms transfer]\n"
     (List.length e.S.Middleware.streams)
-    e.S.Middleware.tuples e.S.Middleware.work e.S.Middleware.transfer_ms
+    e.S.Middleware.tuples e.S.Middleware.work e.S.Middleware.transfer_ms;
+  report_obs ~trace ~trace_json ~metrics
 
 let explain_cmd query view_file scale seed schema data strategy no_reduce =
   let db, p = setup query view_file scale seed schema data in
@@ -149,7 +193,9 @@ let explain_cmd query view_file scale seed schema data strategy no_reduce =
         (R.Sql_print.to_pretty_string s.S.Sql_gen.query))
     (S.Sql_gen.streams db p.S.Middleware.tree plan opts)
 
-let plan_cmd query view_file scale seed schema data no_reduce =
+let plan_cmd query view_file scale seed schema data no_reduce trace trace_json
+    metrics =
+  setup_obs ~trace ~trace_json ~metrics;
   let db, p = setup query view_file scale seed schema data in
   let oracle = R.Cost.oracle db in
   let r =
@@ -161,12 +207,14 @@ let plan_cmd query view_file scale seed schema data no_reduce =
     (List.length (S.Planner.plans_of p.S.Middleware.tree r));
   let best = S.Planner.best_plan p.S.Middleware.tree r in
   Printf.printf "best plan: %s (%d streams)\n" (S.Partition.to_string best)
-    (S.Partition.stream_count best)
+    (S.Partition.stream_count best);
+  report_obs ~trace ~trace_json ~metrics
 
 let run_t =
   Term.(
     const run_cmd $ query_arg $ view_arg $ scale_arg $ seed_arg $ schema_arg
-    $ data_arg $ strategy_arg $ no_reduce_arg $ pretty_arg $ verbose_arg)
+    $ data_arg $ strategy_arg $ no_reduce_arg $ pretty_arg $ verbose_arg
+    $ trace_arg $ trace_json_arg $ metrics_arg)
 
 let explain_t =
   Term.(
@@ -176,7 +224,7 @@ let explain_t =
 let plan_t =
   Term.(
     const plan_cmd $ query_arg $ view_arg $ scale_arg $ seed_arg $ schema_arg
-    $ data_arg $ no_reduce_arg)
+    $ data_arg $ no_reduce_arg $ trace_arg $ trace_json_arg $ metrics_arg)
 
 let cmds =
   [

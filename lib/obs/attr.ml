@@ -1,0 +1,15 @@
+(* Key/value attributes attached to spans. *)
+
+type value = Int of int | Float of float | Bool of bool | String of string
+type t = (string * value) list
+
+let int k n = (k, Int n)
+let float k x = (k, Float x)
+let bool k b = (k, Bool b)
+let string k s = (k, String s)
+
+let value_to_string = function
+  | Int n -> string_of_int n
+  | Float x -> Printf.sprintf "%g" x
+  | Bool b -> string_of_bool b
+  | String s -> s

@@ -1,0 +1,15 @@
+(* Monotonic-ish nanosecond clock with a swappable source.
+
+   The stdlib exposes no monotonic clock, so the default source derives
+   nanoseconds from [Unix.gettimeofday] — adequate for span durations at
+   the granularity the experiments care about.  Tests install a
+   deterministic counter source so span timings are reproducible. *)
+
+type source = unit -> int64
+
+let default : source = fun () -> Int64.of_float (Unix.gettimeofday () *. 1e9)
+let source = ref default
+let set_source s = source := s
+let use_default () = source := default
+let now_ns () = !source ()
+let ns_to_ms ns = Int64.to_float ns /. 1e6

@@ -1,0 +1,9 @@
+(** Nanosecond clock with a swappable source (tests install a
+    deterministic counter). *)
+
+type source = unit -> int64
+
+val now_ns : unit -> int64
+val set_source : source -> unit
+val use_default : unit -> unit
+val ns_to_ms : int64 -> float

@@ -1,0 +1,17 @@
+(* Global observability switch.
+
+   Every instrumentation site in the pipeline is gated on this single
+   flag, so with tracing disabled the instrumentation reduces to one
+   boolean test (plus the closure the [with_span] wrapper allocates).
+   The flag gates spans and metrics together: the CLI's [--trace],
+   [--trace-json] and [--metrics] all turn it on and then choose what to
+   render. *)
+
+let enabled = ref false
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+let with_enabled b f =
+  let prev = !enabled in
+  enabled := b;
+  Fun.protect ~finally:(fun () -> enabled := prev) f

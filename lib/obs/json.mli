@@ -1,0 +1,22 @@
+(** Minimal JSON encoder/parser backing the JSONL exporter and the
+    trace-file validator.  Integers and floats stay distinct through a
+    round trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] looks up [key]; [None] on other values. *)

@@ -1,0 +1,79 @@
+(* JSON-Lines exporter.
+
+   One JSON object per line, "type" discriminated: spans first (start
+   order), then metrics (name order).  An optional "experiment" field
+   tags every record, so bench runs can concatenate experiments into one
+   file and still diff stage-level breakdowns run against run. *)
+
+let json_of_attr_value = function
+  | Attr.Int n -> Json.Int n
+  | Attr.Float x -> Json.Float x
+  | Attr.Bool b -> Json.Bool b
+  | Attr.String s -> Json.String s
+
+let tagged experiment fields =
+  match experiment with
+  | None -> fields
+  | Some e -> ("experiment", Json.String e) :: fields
+
+let span_json ?experiment (s : Span.t) =
+  Json.Obj
+    (tagged experiment
+       [
+         ("type", Json.String "span");
+         ("id", Json.Int s.Span.id);
+         ( "parent",
+           match s.Span.parent with
+           | None -> Json.Null
+           | Some p -> Json.Int p );
+         ("depth", Json.Int s.Span.depth);
+         ("name", Json.String s.Span.name);
+         ("start_ns", Json.Int (Int64.to_int s.Span.start_ns));
+         ("dur_ms", Json.Float (Span.duration_ms s));
+         ( "attrs",
+           Json.Obj
+             (List.map (fun (k, v) -> (k, json_of_attr_value v)) (Span.attrs s))
+         );
+       ])
+
+let metric_json ?experiment (name, snap) =
+  let payload =
+    match snap with
+    | Metrics.SCounter n -> [ ("kind", Json.String "counter"); ("value", Json.Int n) ]
+    | Metrics.SGauge v -> [ ("kind", Json.String "gauge"); ("value", Json.Float v) ]
+    | Metrics.SHistogram h ->
+        [
+          ("kind", Json.String "histogram");
+          ( "bounds",
+            Json.List
+              (Array.to_list (Array.map (fun b -> Json.Float b) h.Metrics.bounds))
+          );
+          ( "counts",
+            Json.List
+              (Array.to_list (Array.map (fun c -> Json.Int c) h.Metrics.counts))
+          );
+          ("sum", Json.Float h.Metrics.sum);
+          ("count", Json.Int h.Metrics.n);
+        ]
+  in
+  Json.Obj
+    (tagged experiment
+       (("type", Json.String "metric") :: ("name", Json.String name) :: payload))
+
+let to_lines ?experiment () =
+  List.map (fun s -> Json.to_string (span_json ?experiment s)) (Span.spans ())
+  @ List.map
+      (fun m -> Json.to_string (metric_json ?experiment m))
+      (Metrics.snapshot ())
+
+let write_channel ?experiment oc =
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (to_lines ?experiment ())
+
+let write_file ?experiment path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      write_channel ?experiment oc)

@@ -1,0 +1,13 @@
+(** JSON-Lines exporter: one object per line, ["type"] discriminated
+    (["span"] then ["metric"]), optionally tagged with an experiment
+    name so bench runs can be diffed stage by stage.  See
+    docs/OBSERVABILITY.md for the schema. *)
+
+val span_json : ?experiment:string -> Span.t -> Json.t
+val metric_json : ?experiment:string -> string * Metrics.snapshot -> Json.t
+
+val to_lines : ?experiment:string -> unit -> string list
+(** Every recorded span and metric as encoded JSON lines. *)
+
+val write_channel : ?experiment:string -> out_channel -> unit
+val write_file : ?experiment:string -> string -> unit

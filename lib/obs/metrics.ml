@@ -1,0 +1,101 @@
+(* The metrics registry: named counters, gauges, and histograms.
+
+   Metrics are looked up by name at the instrumentation site
+   (get-or-create), which keeps call sites one-liners; all writes are
+   gated on Control, so with observability off a metric call is a single
+   boolean test.  Histograms are fixed-bucket: [bounds] are inclusive
+   upper edges and the last bucket is the overflow bucket, so
+   [counts] has [Array.length bounds + 1] cells. *)
+
+type histogram = {
+  bounds : float array; (* strictly increasing inclusive upper edges *)
+  counts : int array; (* length = Array.length bounds + 1 (overflow last) *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type metric = Counter of int ref | Gauge of float ref | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let reset () = Hashtbl.reset registry
+
+let exponential ~start ~factor ~count =
+  Array.init count (fun i -> start *. (factor ** float_of_int i))
+
+(* Powers of four from 1 to ~4M: wide enough for work units, rows and
+   bytes alike without per-metric tuning. *)
+let default_bounds = exponential ~start:1.0 ~factor:4.0 ~count:12
+
+(* Millisecond durations: 1µs to ~1min in powers of four. *)
+let duration_bounds = exponential ~start:0.001 ~factor:4.0 ~count:13
+
+let find_or_add name mk =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+      let m = mk () in
+      Hashtbl.replace registry name m;
+      m
+
+let kind_error name want =
+  invalid_arg (Printf.sprintf "Obs.Metrics: %s is not a %s" name want)
+
+let incr ?(by = 1) name =
+  if Control.is_enabled () then
+    match find_or_add name (fun () -> Counter (ref 0)) with
+    | Counter r -> r := !r + by
+    | _ -> kind_error name "counter"
+
+let set_gauge name v =
+  if Control.is_enabled () then
+    match find_or_add name (fun () -> Gauge (ref 0.0)) with
+    | Gauge r -> r := v
+    | _ -> kind_error name "gauge"
+
+let observe ?(bounds = default_bounds) name x =
+  if Control.is_enabled () then
+    match
+      find_or_add name (fun () ->
+          Histogram
+            {
+              bounds;
+              counts = Array.make (Array.length bounds + 1) 0;
+              sum = 0.0;
+              n = 0;
+            })
+    with
+    | Histogram h ->
+        let nb = Array.length h.bounds in
+        let rec idx i = if i >= nb || x <= h.bounds.(i) then i else idx (i + 1) in
+        let i = idx 0 in
+        h.counts.(i) <- h.counts.(i) + 1;
+        h.sum <- h.sum +. x;
+        h.n <- h.n + 1
+    | _ -> kind_error name "histogram"
+
+(* --- read side -------------------------------------------------------- *)
+
+type snapshot =
+  | SCounter of int
+  | SGauge of float
+  | SHistogram of histogram
+
+let snap = function
+  | Counter r -> SCounter !r
+  | Gauge r -> SGauge !r
+  | Histogram h ->
+      SHistogram { h with counts = Array.copy h.counts }
+
+let snapshot () =
+  Hashtbl.fold (fun name m acc -> (name, snap m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter r) -> Some !r
+  | _ -> None
+
+let histogram_snapshot name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> Some { h with counts = Array.copy h.counts }
+  | _ -> None

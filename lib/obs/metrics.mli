@@ -1,0 +1,37 @@
+(** The metrics registry: named counters, gauges and fixed-bucket
+    histograms, looked up by name at the instrumentation site.  All
+    writes are gated on {!Control}; with observability off a metric call
+    is a single boolean test. *)
+
+type histogram = {
+  bounds : float array;  (** strictly increasing inclusive upper edges *)
+  counts : int array;  (** [Array.length bounds + 1] cells, overflow last *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+val default_bounds : float array
+(** Powers of four from 1 to ~4M — wide enough for work units, rows and
+    bytes without per-metric tuning. *)
+
+val duration_bounds : float array
+(** Millisecond durations: 1µs to ~1min in powers of four. *)
+
+val exponential : start:float -> factor:float -> count:int -> float array
+
+val incr : ?by:int -> string -> unit
+val set_gauge : string -> float -> unit
+
+val observe : ?bounds:float array -> string -> float -> unit
+(** Records [x] into the histogram named [name], creating it with
+    [bounds] (default {!default_bounds}) on first use. *)
+
+val reset : unit -> unit
+
+type snapshot = SCounter of int | SGauge of float | SHistogram of histogram
+
+val snapshot : unit -> (string * snapshot) list
+(** All metrics, sorted by name.  Histogram arrays are copies. *)
+
+val counter_value : string -> int option
+val histogram_snapshot : string -> histogram option

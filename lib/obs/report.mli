@@ -1,0 +1,8 @@
+(** Human-readable sinks: flame-style indented span tree and a metrics
+    table, rendered from the global collectors. *)
+
+val render_spans : unit -> string
+val render_metrics : unit -> string
+
+val render : unit -> string
+(** Span tree followed by the metrics table. *)

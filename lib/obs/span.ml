@@ -1,0 +1,90 @@
+(* Span-based tracing.
+
+   A span covers one pipeline stage or operator; spans nest by dynamic
+   extent ([with_span] inside [with_span]), forming a tree recorded in
+   start (pre-) order.  The collector is a pair of globals — the stack
+   of open spans and the log of all spans — which is all a
+   single-threaded pipeline needs.  When the Control switch is off,
+   [with_span] runs the thunk directly.
+
+   Closing a span feeds its duration into the ["span.ms.<name>"]
+   histogram, so every traced run gets per-stage duration distributions
+   for free. *)
+
+type t = {
+  id : int;
+  parent : int option;
+  depth : int;
+  mutable name : string;
+  start_ns : int64;
+  mutable end_ns : int64;
+  mutable attr_rev : Attr.t; (* reverse insertion order *)
+  mutable finished : bool;
+}
+
+let next_id = ref 0
+let stack : t list ref = ref [] (* open spans, innermost first *)
+let log : t list ref = ref [] (* every span, reverse start order *)
+
+let tracing = Control.is_enabled
+
+let reset () =
+  next_id := 0;
+  stack := [];
+  log := []
+
+let spans () = List.rev !log
+let attrs s = List.rev s.attr_rev
+let duration_ms s = Clock.ns_to_ms (Int64.sub s.end_ns s.start_ns)
+
+let add key v =
+  if Control.is_enabled () then
+    match !stack with
+    | s :: _ -> s.attr_rev <- (key, v) :: s.attr_rev
+    | [] -> ()
+
+let add_list kvs =
+  if Control.is_enabled () then
+    match !stack with
+    | s :: _ -> List.iter (fun kv -> s.attr_rev <- kv :: s.attr_rev) kvs
+    | [] -> ()
+
+let set_name name =
+  if Control.is_enabled () then
+    match !stack with s :: _ -> s.name <- name | [] -> ()
+
+let finish s =
+  s.end_ns <- Clock.now_ns ();
+  s.finished <- true;
+  (match !stack with
+  | top :: rest when top == s -> stack := rest
+  | _ ->
+      (* unbalanced finish (an exception unwound through nested spans
+         whose [finally] already ran): drop anything above [s] too *)
+      stack := List.filter (fun o -> not (o == s)) !stack);
+  Metrics.observe ~bounds:Metrics.duration_bounds ("span.ms." ^ s.name)
+    (duration_ms s)
+
+let with_span ?(attrs = []) name f =
+  if not (Control.is_enabled ()) then f ()
+  else begin
+    let parent, depth =
+      match !stack with [] -> (None, 0) | p :: _ -> (Some p.id, p.depth + 1)
+    in
+    incr next_id;
+    let s =
+      {
+        id = !next_id;
+        parent;
+        depth;
+        name;
+        start_ns = Clock.now_ns ();
+        end_ns = 0L;
+        attr_rev = List.rev attrs;
+        finished = false;
+      }
+    in
+    stack := s :: !stack;
+    log := s :: !log;
+    Fun.protect ~finally:(fun () -> finish s) f
+  end

@@ -1,0 +1,42 @@
+(** Span-based tracing: hierarchical, monotonic-clock timed, with
+    key/value attributes.  Spans nest by dynamic extent and are recorded
+    in start (pre-) order; closing a span feeds its duration into the
+    ["span.ms.<name>"] histogram. *)
+
+type t = {
+  id : int;
+  parent : int option;
+  depth : int;
+  mutable name : string;
+  start_ns : int64;
+  mutable end_ns : int64;
+  mutable attr_rev : Attr.t;
+  mutable finished : bool;
+}
+
+val with_span : ?attrs:Attr.t -> string -> (unit -> 'a) -> 'a
+(** Runs [f] inside a span named [name].  When observability is off this
+    is just [f ()]. *)
+
+val tracing : unit -> bool
+(** Alias for {!Control.is_enabled}: guard attribute computation at the
+    instrumentation site. *)
+
+val add : string -> Attr.value -> unit
+(** Attaches an attribute to the innermost open span (no-op when off or
+    when no span is open). *)
+
+val add_list : Attr.t -> unit
+
+val set_name : string -> unit
+(** Renames the innermost open span — used when the operator kind is
+    only known mid-span (hash join vs. nested loop). *)
+
+val spans : unit -> t list
+(** Completed and open spans in start (pre-) order. *)
+
+val attrs : t -> Attr.t
+(** Attributes in insertion order. *)
+
+val duration_ms : t -> float
+val reset : unit -> unit

@@ -122,14 +122,23 @@ let resolver header e = Expr.resolve (lookup header) e
 (* --- scans ----------------------------------------------------------- *)
 
 let scan ctx name alias : rel =
-  let schema = Database.schema ctx.db name in
-  let data = Database.raw_data ctx.db name in
-  charge ctx `Scan (Array.length data);
-  let header =
-    Array.of_list
-      (List.map (fun c -> (alias, c)) (Schema.column_names schema))
-  in
-  { header; tuples = Array.to_list data }
+  Obs.Span.with_span "exec.scan" (fun () ->
+      let schema = Database.schema ctx.db name in
+      let data = Database.raw_data ctx.db name in
+      charge ctx `Scan (Array.length data);
+      if Obs.Span.tracing () then begin
+        Obs.Span.add_list
+          [
+            Obs.Attr.string "table" name;
+            Obs.Attr.int "rows" (Array.length data);
+          ];
+        Obs.Metrics.incr ~by:(Array.length data) "exec.rows_scanned"
+      end;
+      let header =
+        Array.of_list
+          (List.map (fun c -> (alias, c)) (Schema.column_names schema))
+      in
+      { header; tuples = Array.to_list data })
 
 (* --- predicates over a pair of relations ------------------------------ *)
 
@@ -182,6 +191,9 @@ module KeyTbl = Hashtbl.Make (Key)
    decides.  Disjuncts without equalities force the whole right side to be
    a candidate (degrading to a nested loop for those). *)
 let join ctx kind (left : rel) (right : rel) (on : Expr.t) : rel =
+ Obs.Span.with_span "exec.join" (fun () ->
+  let work0 = ctx.st.work in
+  let probed0 = ctx.st.probed and emitted0 = ctx.st.emitted in
   let header = Array.append left.header right.header in
   let resolved_on = resolver header on in
   let right_arr = Array.of_list right.tuples in
@@ -249,7 +261,24 @@ let join ctx kind (left : rel) (right : rel) (on : Expr.t) : rel =
         out := padded :: !out
       end)
     left.tuples;
-  { header; tuples = List.rev !out }
+  if Obs.Span.tracing () then begin
+    Obs.Span.set_name
+      (if needs_full then "exec.nested-loop" else "exec.hash-join");
+    Obs.Span.add_list
+      [
+        Obs.Attr.string "kind"
+          (match kind with Sql.Inner -> "inner" | Sql.Left_outer -> "left-outer");
+        Obs.Attr.int "left_rows" (List.length left.tuples);
+        Obs.Attr.int "right_rows" nright;
+        Obs.Attr.int "out_rows" (List.length !out);
+        Obs.Attr.int "probed" (ctx.st.probed - probed0);
+        Obs.Attr.int "emitted" (ctx.st.emitted - emitted0);
+        Obs.Attr.int "work" (ctx.st.work - work0);
+      ];
+    Obs.Metrics.incr ~by:(ctx.st.probed - probed0) "exec.rows_probed";
+    Obs.Metrics.observe "exec.join.out_rows" (float_of_int (List.length !out))
+  end;
+  { header; tuples = List.rev !out })
 
 (* --- FROM list: greedy connected ordering ----------------------------- *)
 
@@ -392,6 +421,7 @@ and eval_query ctx (q : Sql.query) : Relation.t =
     match q.order_by with
     | [] -> result.tuples
     | keys ->
+     Obs.Span.with_span "exec.sort" (fun () ->
         let resolved =
           List.map
             (fun (e, d) ->
@@ -421,14 +451,39 @@ and eval_query ctx (q : Sql.query) : Relation.t =
         let bytes =
           List.fold_left (fun acc t -> acc + Tuple.wire_size t) 0 result.tuples
         in
+        let spill0 = ctx.st.spill_passes and work0 = ctx.st.work in
         charge_sort ctx (List.length result.tuples) bytes;
-        List.stable_sort cmp result.tuples
+        if Obs.Span.tracing () then begin
+          let spills = ctx.st.spill_passes - spill0 in
+          Obs.Span.add_list
+            [
+              Obs.Attr.int "rows" (List.length result.tuples);
+              Obs.Attr.int "bytes" bytes;
+              Obs.Attr.int "spill_passes" spills;
+              Obs.Attr.int "work" (ctx.st.work - work0);
+            ];
+          Obs.Metrics.observe "exec.sort.bytes" (float_of_int bytes);
+          if spills > 0 then Obs.Metrics.incr ~by:spills "exec.spill_passes"
+        end;
+        List.stable_sort cmp result.tuples)
   in
   Relation.create cols tuples
 
 let run_with_stats ?(budget = 0) ?(profile = default_profile) db (q : Sql.query) =
-  let ctx = { db; st = new_stats (); budget; profile } in
-  let rel = eval_query ctx q in
-  (rel, ctx.st)
+  Obs.Span.with_span "exec.query" (fun () ->
+      let ctx = { db; st = new_stats (); budget; profile } in
+      let rel = eval_query ctx q in
+      if Obs.Span.tracing () then
+        Obs.Span.add_list
+          [
+            Obs.Attr.int "rows" (Relation.cardinality rel);
+            Obs.Attr.int "scanned" ctx.st.scanned;
+            Obs.Attr.int "probed" ctx.st.probed;
+            Obs.Attr.int "emitted" ctx.st.emitted;
+            Obs.Attr.int "sorted" ctx.st.sorted;
+            Obs.Attr.int "spill_passes" ctx.st.spill_passes;
+            Obs.Attr.int "work" ctx.st.work;
+          ];
+      (rel, ctx.st))
 
 let run ?budget ?profile db q = fst (run_with_stats ?budget ?profile db q)

@@ -22,9 +22,17 @@ type prepared = {
 }
 
 let prepare db view =
-  let tree = View_tree.of_view db view in
-  let labels = Label.label_edges db tree in
-  { db; view; tree; labels }
+  Obs.Span.with_span "middleware.prepare" (fun () ->
+      let tree = View_tree.of_view db view in
+      let labels = Label.label_edges db tree in
+      if Obs.Span.tracing () then
+        Obs.Span.add_list
+          [
+            Obs.Attr.int "nodes" (View_tree.node_count tree);
+            Obs.Attr.int "edges" (View_tree.edge_count tree);
+            Obs.Attr.int "work" (View_tree.node_count tree);
+          ];
+      { db; view; tree; labels })
 
 let prepare_text db text = prepare db (Rxl_parser.parse text)
 
@@ -34,22 +42,54 @@ type strategy =
   | Edges of int (* partition mask over view-tree edges *)
   | Greedy of Planner.params
 
-let partition_of p = function
-  | Unified -> Partition.unified p.tree
-  | Fully_partitioned -> Partition.fully_partitioned p.tree
-  | Edges mask -> Partition.of_mask p.tree mask
-  | Greedy params ->
-      let oracle = R.Cost.oracle p.db in
-      let result = Planner.gen_plan p.db oracle p.tree p.labels params in
-      Log.info (fun m -> m "genPlan: %s" (Planner.to_string p.tree result));
-      Planner.best_plan p.tree result
+let strategy_name = function
+  | Unified -> "unified"
+  | Fully_partitioned -> "fully-partitioned"
+  | Edges mask -> Printf.sprintf "edges:%d" mask
+  | Greedy _ -> "greedy"
+
+let partition_of p strategy =
+  Obs.Span.with_span "middleware.plan" (fun () ->
+      let requests = ref 0 in
+      let plan =
+        match strategy with
+        | Unified -> Partition.unified p.tree
+        | Fully_partitioned -> Partition.fully_partitioned p.tree
+        | Edges mask -> Partition.of_mask p.tree mask
+        | Greedy params ->
+            let oracle = R.Cost.oracle p.db in
+            let result = Planner.gen_plan p.db oracle p.tree p.labels params in
+            requests := result.Planner.requests;
+            Log.info (fun m -> m "genPlan: %s" (Planner.to_string p.tree result));
+            Planner.best_plan p.tree result
+      in
+      if Obs.Span.tracing () then
+        Obs.Span.add_list
+          [
+            Obs.Attr.string "strategy" (strategy_name strategy);
+            Obs.Attr.int "streams" (Partition.stream_count plan);
+            Obs.Attr.int "work" !requests;
+          ];
+      plan)
 
 let options_of p ~style ~reduce =
   { Sql_gen.style; labels = (if reduce then Some p.labels else None) }
 
+(* Per-stream breakdown: every sub-query of a partition gets its own
+   stats record, so the execution result can show where inside a plan the
+   work went (the aggregate fields below are sums over this list). *)
+type stream_exec = {
+  se_stream : Sql_gen.stream;
+  se_relation : R.Relation.t;
+  se_sql : string;
+  se_stats : R.Executor.stats;
+  se_wall_ms : float;
+}
+
 (* Result of running one plan. *)
 type execution = {
   streams : (Sql_gen.stream * R.Relation.t) list;
+  per_stream : stream_exec list; (* one entry per sub-query, in plan order *)
   sql_texts : string list;
   query_wall_ms : float; (* measured engine time *)
   transfer_ms : float; (* modeled client transfer time *)
@@ -69,6 +109,7 @@ let now_ms () = Unix.gettimeofday () *. 1000.0
 let execute ?(style = Sql_gen.Outer_join) ?(reduce = false) ?(budget = 0)
     ?(profile = R.Executor.default_profile) ?(transfer = R.Transfer.default)
     ?(sql_syntax = `Derived) (p : prepared) (plan : Partition.t) : execution =
+ Obs.Span.with_span "middleware.execute" (fun () ->
   let opts = options_of p ~style ~reduce in
   let streams = Sql_gen.streams p.db p.tree plan opts in
   let print_sql =
@@ -76,42 +117,86 @@ let execute ?(style = Sql_gen.Outer_join) ?(reduce = false) ?(budget = 0)
     | `Derived -> R.Sql_print.to_string
     | `With -> R.Sql_print.to_with_string
   in
-  let run (s : Sql_gen.stream) =
-    let text = print_sql s.Sql_gen.query in
-    (* round-trip through the SQL text interface, as the middleware does *)
-    let ast = R.Sql_parser.parse text in
-    let t0 = now_ms () in
-    let rel, stats =
-      try R.Executor.run_with_stats ~budget ~profile p.db ast
-      with R.Executor.Timeout -> raise (Plan_timeout text)
-    in
-    let t1 = now_ms () in
-    Log.debug (fun m ->
-        m "stream: %d rows, %d work units, %.1f ms — %s"
-          (R.Relation.cardinality rel) stats.R.Executor.work (t1 -. t0)
-          (if String.length text > 80 then String.sub text 0 80 ^ "…" else text));
-    (text, rel, stats, t1 -. t0)
+  let run i (s : Sql_gen.stream) : stream_exec =
+    Obs.Span.with_span "execute.stream" (fun () ->
+        let text = print_sql s.Sql_gen.query in
+        (* round-trip through the SQL text interface, as the middleware does *)
+        let ast = R.Sql_parser.parse text in
+        let t0 = now_ms () in
+        let rel, stats =
+          try R.Executor.run_with_stats ~budget ~profile p.db ast
+          with R.Executor.Timeout -> raise (Plan_timeout text)
+        in
+        let t1 = now_ms () in
+        Log.debug (fun m ->
+            m "stream: %d rows, %d work units, %.1f ms — %s"
+              (R.Relation.cardinality rel) stats.R.Executor.work (t1 -. t0)
+              (if String.length text > 80 then String.sub text 0 80 ^ "…"
+               else text));
+        if Obs.Span.tracing () then begin
+          let rows = R.Relation.cardinality rel in
+          let bytes = R.Relation.wire_size rel in
+          Obs.Span.add_list
+            [
+              Obs.Attr.int "index" i;
+              Obs.Attr.string "root"
+                (View_tree.skolem_name
+                   (View_tree.node p.tree s.Sql_gen.fragment.Partition.root)
+                     .View_tree.sfi);
+              Obs.Attr.int "rows" rows;
+              Obs.Attr.int "bytes" bytes;
+              Obs.Attr.int "work" stats.R.Executor.work;
+            ];
+          Obs.Metrics.incr "execute.streams";
+          Obs.Metrics.observe "execute.stream.work"
+            (float_of_int stats.R.Executor.work);
+          Obs.Metrics.observe "execute.stream.rows" (float_of_int rows);
+          Obs.Metrics.observe "execute.stream.bytes" (float_of_int bytes)
+        end;
+        {
+          se_stream = s;
+          se_relation = rel;
+          se_sql = text;
+          se_stats = stats;
+          se_wall_ms = t1 -. t0;
+        })
   in
-  let results = List.map (fun s -> (s, run s)) streams in
-  let streams_rels = List.map (fun (s, (_, rel, _, _)) -> (s, rel)) results in
+  let per_stream = List.mapi run streams in
+  let streams_rels =
+    List.map (fun se -> (se.se_stream, se.se_relation)) per_stream
+  in
+  let work =
+    List.fold_left (fun acc se -> acc + se.se_stats.R.Executor.work) 0 per_stream
+  in
+  let tuples =
+    List.fold_left
+      (fun acc (_, rel) -> acc + R.Relation.cardinality rel)
+      0 streams_rels
+  in
+  let bytes =
+    List.fold_left
+      (fun acc (_, rel) -> acc + R.Relation.wire_size rel)
+      0 streams_rels
+  in
+  if Obs.Span.tracing () then
+    Obs.Span.add_list
+      [
+        Obs.Attr.int "streams" (List.length per_stream);
+        Obs.Attr.int "tuples" tuples;
+        Obs.Attr.int "bytes" bytes;
+        Obs.Attr.int "work" work;
+      ];
   {
     streams = streams_rels;
-    sql_texts = List.map (fun (_, (text, _, _, _)) -> text) results;
+    per_stream;
+    sql_texts = List.map (fun se -> se.se_sql) per_stream;
     query_wall_ms =
-      List.fold_left (fun acc (_, (_, _, _, ms)) -> acc +. ms) 0.0 results;
-    transfer_ms =
-      R.Transfer.relations_ms transfer (List.map snd streams_rels);
-    work =
-      List.fold_left
-        (fun acc (_, (_, _, (st : R.Executor.stats), _)) -> acc + st.work)
-        0 results;
-    tuples =
-      List.fold_left
-        (fun acc (_, rel) -> acc + R.Relation.cardinality rel)
-        0 streams_rels;
-    bytes =
-      List.fold_left (fun acc (_, rel) -> acc + R.Relation.wire_size rel) 0 streams_rels;
-  }
+      List.fold_left (fun acc se -> acc +. se.se_wall_ms) 0.0 per_stream;
+    transfer_ms = R.Transfer.relations_ms transfer (List.map snd streams_rels);
+    work;
+    tuples;
+    bytes;
+  })
 
 let document_of p (e : execution) : Xmlkit.Xml.t =
   Tagger.to_document p.tree e.streams

@@ -27,12 +27,24 @@ type strategy =
 
 val partition_of : prepared -> strategy -> Partition.t
 
+(** Per-stream breakdown: every sub-query of a partition gets its own
+    stats record, so callers can see where inside a plan the work went
+    rather than only the sum. *)
+type stream_exec = {
+  se_stream : Sql_gen.stream;
+  se_relation : Relational.Relation.t;
+  se_sql : string;
+  se_stats : Relational.Executor.stats;
+  se_wall_ms : float;
+}
+
 type execution = {
   streams : (Sql_gen.stream * Relational.Relation.t) list;
+  per_stream : stream_exec list;  (** one entry per sub-query, in plan order *)
   sql_texts : string list;
   query_wall_ms : float;  (** measured engine time *)
   transfer_ms : float;  (** modeled client-transfer time *)
-  work : int;  (** deterministic engine work units *)
+  work : int;  (** deterministic engine work units — sum over [per_stream] *)
   tuples : int;
   bytes : int;
 }

@@ -28,6 +28,7 @@ type result = {
   mandatory : (int * int) list;
   optional : (int * int) list;
   requests : int; (* cost-estimate requests issued to the oracle *)
+  cache_hits : int; (* fragment-cost lookups served by the member-set cache *)
 }
 
 (* Fragment record for an arbitrary connected member set. *)
@@ -50,6 +51,8 @@ let fragment_of tree members : Partition.fragment =
 let gen_plan ?(reduce = false) (db : R.Database.t) (oracle : R.Cost.oracle)
     (tree : View_tree.t) (labels : Xmlkit.Dtd.multiplicity array)
     (params : params) : result =
+ Obs.Span.with_span "planner.gen_plan" (fun () ->
+  let requests0 = R.Cost.requests oracle in
   let opts =
     {
       Sql_gen.style = Sql_gen.Outer_join;
@@ -57,10 +60,13 @@ let gen_plan ?(reduce = false) (db : R.Database.t) (oracle : R.Cost.oracle)
     }
   in
   let cache : (int list, float) Hashtbl.t = Hashtbl.create 64 in
+  let cache_hits = ref 0 in
   let cost_of members =
     let key = List.sort compare members in
     match Hashtbl.find_opt cache key with
-    | Some c -> c
+    | Some c ->
+        incr cache_hits;
+        c
     | None ->
         let frag = fragment_of tree key in
         let stream = Sql_gen.stream_of_fragment db tree opts frag in
@@ -87,9 +93,22 @@ let gen_plan ?(reduce = false) (db : R.Database.t) (oracle : R.Cost.oracle)
     let costs =
       List.map
         (fun (u, v) ->
-          let f1 = members_of (find u) and f2 = members_of (find v) in
-          let rel = cost_of (f1 @ f2) -. (cost_of f1 +. cost_of f2) in
-          (rel, (u, v)))
+          (* one span per cost-oracle request batch: the three fragment
+             estimates (combined, left, right) this edge triggers *)
+          Obs.Span.with_span "plan.edge" (fun () ->
+              let f1 = members_of (find u) and f2 = members_of (find v) in
+              let rel = cost_of (f1 @ f2) -. (cost_of f1 +. cost_of f2) in
+              if Obs.Span.tracing () then begin
+                let name id =
+                  View_tree.skolem_name (View_tree.node tree id).View_tree.sfi
+                in
+                Obs.Span.add_list
+                  [
+                    Obs.Attr.string "edge" (name u ^ "-" ^ name v);
+                    Obs.Attr.float "rel" rel;
+                  ]
+              end;
+              (rel, (u, v))))
         !remaining
     in
     let sorted = List.sort (fun (a, _) (b, _) -> compare a b) costs in
@@ -108,11 +127,25 @@ let gen_plan ?(reduce = false) (db : R.Database.t) (oracle : R.Cost.oracle)
         end
         else continue_ := false
   done;
+  let requests = R.Cost.requests oracle in
+  if Obs.Span.tracing () then begin
+    Obs.Span.add_list
+      [
+        Obs.Attr.int "mandatory" (List.length !mandatory);
+        Obs.Attr.int "optional" (List.length !optional);
+        Obs.Attr.int "requests" (requests - requests0);
+        Obs.Attr.int "cache_hits" !cache_hits;
+        Obs.Attr.int "work" (requests - requests0);
+      ];
+    Obs.Metrics.incr ~by:(requests - requests0) "planner.requests";
+    Obs.Metrics.incr ~by:!cache_hits "planner.cache_hits"
+  end;
   {
     mandatory = List.rev !mandatory;
     optional = List.rev !optional;
-    requests = R.Cost.requests oracle;
-  }
+    requests;
+    cache_hits = !cache_hits;
+  })
 
 (* The plan family a genPlan result describes: the mandatory edges plus
    each subset of the optional edges (paper Sec. 5.1: "Each subset of the
@@ -147,9 +180,9 @@ let best_plan tree (r : result) : Partition.t =
 
 let to_string tree (r : result) =
   let name id = View_tree.skolem_name (View_tree.node tree id).View_tree.sfi in
-  Printf.sprintf "mandatory: %s; optional: %s; requests: %d"
+  Printf.sprintf "mandatory: %s; optional: %s; requests: %d (+%d cached)"
     (String.concat ", "
        (List.map (fun (a, b) -> name a ^ "-" ^ name b) r.mandatory))
     (String.concat ", "
        (List.map (fun (a, b) -> name a ^ "-" ^ name b) r.optional))
-    r.requests
+    r.requests r.cache_hits

@@ -16,6 +16,10 @@ type result = {
   mandatory : (int * int) list;
   optional : (int * int) list;
   requests : int;  (** cost-estimate requests issued (paper Sec. 5.1) *)
+  cache_hits : int;
+      (** fragment-cost lookups served by the member-set cache — the
+          requests the paper's Sec. 5.1 experiment would have counted
+          without caching *)
 }
 
 val fragment_of : View_tree.t -> int list -> Partition.fragment

@@ -306,8 +306,28 @@ let process_tuple ctx st (t : R.Tuple.t) =
 
 let tag tree (streams : (Sql_gen.stream * R.Relation.t) list) (sink : sink) :
     unit =
+ Obs.Span.with_span "middleware.tag" (fun () ->
+  let opens = ref 0 and texts = ref 0 in
+  let sink =
+    if Obs.Span.tracing () then
+      {
+        sink with
+        on_open =
+          (fun t ->
+            incr opens;
+            sink.on_open t);
+        on_text =
+          (fun s ->
+            incr texts;
+            sink.on_text s);
+      }
+    else sink
+  in
   let states =
     List.map (fun (d, r) -> build_stream_state tree d r) streams
+  in
+  let tuples_in =
+    List.fold_left (fun acc st -> acc + List.length st.rows) 0 states
   in
   let ctx = make_ctx tree sink in
   sink.on_open tree.View_tree.root_tag;
@@ -334,7 +354,19 @@ let tag tree (streams : (Sql_gen.stream * R.Relation.t) list) (sink : sink) :
   in
   loop ();
   close_to_depth ctx 0;
-  sink.on_close tree.View_tree.root_tag
+  sink.on_close tree.View_tree.root_tag;
+  if Obs.Span.tracing () then begin
+    Obs.Span.add_list
+      [
+        Obs.Attr.int "streams" (List.length streams);
+        Obs.Attr.int "tuples" tuples_in;
+        Obs.Attr.int "elements" !opens;
+        Obs.Attr.int "texts" !texts;
+        Obs.Attr.int "work" !opens;
+      ];
+    Obs.Metrics.incr ~by:!opens "tag.elements";
+    Obs.Metrics.observe "tag.tuples" (float_of_int tuples_in)
+  end)
 
 (* Sink building an in-memory document (tests, validation). *)
 let document_sink () =

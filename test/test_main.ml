@@ -37,5 +37,6 @@ let () =
       ("planner", Test_planner.suite);
       ("query3", Test_query3.suite);
       ("middleware", Test_middleware.suite);
+      ("obs", Test_obs.suite);
       qcheck "random-views:props" Test_random_views.props;
     ]

@@ -1,0 +1,340 @@
+(* The observability layer: span nesting/ordering, attribute capture,
+   histogram bucketing, JSONL round-trips, and the middleware
+   integration (per-stream stats, plan.edge spans, work-count
+   neutrality). *)
+
+open Silkroute
+module R = Relational
+
+(* Deterministic clock: every reading advances by 1µs, so span durations
+   are exact and reproducible. *)
+let install_test_clock () =
+  let t = ref 0L in
+  Obs.Clock.set_source (fun () ->
+      t := Int64.add !t 1_000L;
+      !t)
+
+let with_obs f =
+  install_test_clock ();
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.reset ();
+      Obs.Metrics.reset ();
+      Obs.Clock.use_default ())
+    (fun () -> Obs.Control.with_enabled true f)
+
+let find_spans name =
+  List.filter (fun (s : Obs.Span.t) -> s.Obs.Span.name = name) (Obs.Span.spans ())
+
+let attr_exn s key =
+  match List.assoc_opt key (Obs.Span.attrs s) with
+  | Some v -> v
+  | None -> Alcotest.failf "span %s: missing attribute %s" s.Obs.Span.name key
+
+(* --- spans -------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  with_obs (fun () ->
+      let r =
+        Obs.Span.with_span "a" (fun () ->
+            Obs.Span.with_span "b" (fun () -> ignore (Obs.Span.with_span "c" (fun () -> 1)));
+            Obs.Span.with_span "d" (fun () -> 2))
+      in
+      Alcotest.(check int) "value returned" 2 r;
+      let names = List.map (fun (s : Obs.Span.t) -> s.Obs.Span.name) (Obs.Span.spans ()) in
+      Alcotest.(check (list string)) "pre-order" [ "a"; "b"; "c"; "d" ] names;
+      let by_name n = List.hd (find_spans n) in
+      Alcotest.(check (option int)) "a is root" None (by_name "a").Obs.Span.parent;
+      Alcotest.(check (option int)) "b under a" (Some (by_name "a").Obs.Span.id)
+        (by_name "b").Obs.Span.parent;
+      Alcotest.(check (option int)) "c under b" (Some (by_name "b").Obs.Span.id)
+        (by_name "c").Obs.Span.parent;
+      Alcotest.(check (option int)) "d under a" (Some (by_name "a").Obs.Span.id)
+        (by_name "d").Obs.Span.parent;
+      Alcotest.(check int) "c depth" 2 (by_name "c").Obs.Span.depth;
+      List.iter
+        (fun (s : Obs.Span.t) ->
+          Alcotest.(check bool) "finished" true s.Obs.Span.finished;
+          Alcotest.(check bool) "positive duration" true
+            (Obs.Span.duration_ms s > 0.0))
+        (Obs.Span.spans ()))
+
+let test_span_attrs () =
+  with_obs (fun () ->
+      Obs.Span.with_span "op" ~attrs:[ Obs.Attr.string "table" "Part" ]
+        (fun () ->
+          Obs.Span.add "rows" (Obs.Attr.Int 42);
+          Obs.Span.add_list [ Obs.Attr.float "sel" 0.5; Obs.Attr.bool "ok" true ]);
+      let s = List.hd (find_spans "op") in
+      Alcotest.(check (list string)) "insertion order"
+        [ "table"; "rows"; "sel"; "ok" ]
+        (List.map fst (Obs.Span.attrs s));
+      (match attr_exn s "rows" with
+      | Obs.Attr.Int 42 -> ()
+      | _ -> Alcotest.fail "rows attribute wrong");
+      match attr_exn s "table" with
+      | Obs.Attr.String "Part" -> ()
+      | _ -> Alcotest.fail "table attribute wrong")
+
+let test_span_exception_safety () =
+  with_obs (fun () ->
+      (try
+         Obs.Span.with_span "outer" (fun () ->
+             Obs.Span.with_span "inner" (fun () -> failwith "boom"))
+       with Failure _ -> ());
+      let outer = List.hd (find_spans "outer") in
+      let inner = List.hd (find_spans "inner") in
+      Alcotest.(check bool) "outer finished" true outer.Obs.Span.finished;
+      Alcotest.(check bool) "inner finished" true inner.Obs.Span.finished;
+      (* a fresh root opens cleanly after the unwind *)
+      Obs.Span.with_span "next" (fun () -> ());
+      Alcotest.(check (option int)) "next is root" None
+        (List.hd (find_spans "next")).Obs.Span.parent)
+
+let test_disabled_is_noop () =
+  install_test_clock ();
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  Obs.Control.set_enabled false;
+  let r = Obs.Span.with_span "a" (fun () -> Obs.Metrics.incr "c"; 7) in
+  Alcotest.(check int) "value returned" 7 r;
+  Alcotest.(check int) "no spans" 0 (List.length (Obs.Span.spans ()));
+  Alcotest.(check (option int)) "no counter" None (Obs.Metrics.counter_value "c");
+  Obs.Clock.use_default ()
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let test_counters_and_gauges () =
+  with_obs (fun () ->
+      Obs.Metrics.incr "hits";
+      Obs.Metrics.incr ~by:4 "hits";
+      Obs.Metrics.set_gauge "temp" 1.5;
+      Obs.Metrics.set_gauge "temp" 2.5;
+      Alcotest.(check (option int)) "counter" (Some 5)
+        (Obs.Metrics.counter_value "hits");
+      match Obs.Metrics.snapshot () with
+      | [ ("hits", Obs.Metrics.SCounter 5); ("temp", Obs.Metrics.SGauge g) ] ->
+          Alcotest.(check (float 1e-9)) "gauge keeps last" 2.5 g
+      | _ -> Alcotest.fail "unexpected snapshot shape")
+
+let test_histogram_buckets () =
+  with_obs (fun () ->
+      let bounds = [| 1.0; 10.0; 100.0 |] in
+      (* bucket edges are inclusive upper bounds; beyond the last bound
+         falls into the overflow bucket *)
+      List.iter
+        (fun x -> Obs.Metrics.observe ~bounds "h" x)
+        [ 0.5; 1.0; 2.0; 10.0; 99.0; 100.5; 1e6 ];
+      match Obs.Metrics.histogram_snapshot "h" with
+      | None -> Alcotest.fail "histogram missing"
+      | Some h ->
+          Alcotest.(check (array int)) "bucket counts" [| 2; 2; 1; 2 |]
+            h.Obs.Metrics.counts;
+          Alcotest.(check int) "n" 7 h.Obs.Metrics.n;
+          Alcotest.(check (float 1e-6)) "sum" 1000213.0 h.Obs.Metrics.sum)
+
+(* --- json + jsonl ------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      Obs.Json.Null;
+      Obs.Json.Bool true;
+      Obs.Json.Int (-42);
+      Obs.Json.Float 1.0;
+      Obs.Json.Float 3.25e-3;
+      Obs.Json.String "quote\" slash\\ newline\n tab\t unicode é";
+      Obs.Json.List [ Obs.Json.Int 1; Obs.Json.String "x"; Obs.Json.Null ];
+      Obs.Json.Obj
+        [
+          ("a", Obs.Json.Int 1);
+          ("nested", Obs.Json.Obj [ ("b", Obs.Json.List []) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Obs.Json.to_string v in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %s" s)
+        true
+        (Obs.Json.parse s = v))
+    samples;
+  (* int/float distinction survives *)
+  Alcotest.(check bool) "1 is Int" true (Obs.Json.parse "1" = Obs.Json.Int 1);
+  Alcotest.(check bool) "1.0 is Float" true
+    (Obs.Json.parse "1.0" = Obs.Json.Float 1.0);
+  (* \u escapes incl. surrogate pairs *)
+  Alcotest.(check bool) "u-escape" true
+    (Obs.Json.parse {|"é"|} = Obs.Json.String "é");
+  Alcotest.(check bool) "surrogate pair" true
+    (Obs.Json.parse {|"😀"|} = Obs.Json.String "😀");
+  (* malformed input fails *)
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %s" bad)
+        true
+        (try
+           ignore (Obs.Json.parse bad);
+           false
+         with Obs.Json.Parse_error _ -> true))
+    [ "{"; "[1,"; "\"unterminated"; "1 2"; "tru"; "{\"a\" 1}" ]
+
+let test_jsonl_export () =
+  with_obs (fun () ->
+      Obs.Span.with_span "root" ~attrs:[ Obs.Attr.int "n" 3 ] (fun () ->
+          Obs.Span.with_span "child" (fun () -> ()));
+      Obs.Metrics.incr ~by:9 "counted";
+      Obs.Metrics.observe ~bounds:[| 1.0 |] "sized" 0.5;
+      let lines = Obs.Jsonl.to_lines ~experiment:"exp1" () in
+      (* 2 spans + 3 metrics (counted, sized, span.ms.* for both spans —
+         which share one histogram per name) *)
+      Alcotest.(check bool) "several lines" true (List.length lines >= 5);
+      let parsed = List.map Obs.Json.parse lines in
+      List.iter
+        (fun j ->
+          Alcotest.(check bool) "tagged with experiment" true
+            (Obs.Json.member "experiment" j = Some (Obs.Json.String "exp1"));
+          match Obs.Json.member "type" j with
+          | Some (Obs.Json.String ("span" | "metric")) -> ()
+          | _ -> Alcotest.fail "bad type field")
+        parsed;
+      let root =
+        List.find
+          (fun j ->
+            Obs.Json.member "name" j = Some (Obs.Json.String "root"))
+          parsed
+      in
+      (match Obs.Json.member "attrs" root with
+      | Some (Obs.Json.Obj [ ("n", Obs.Json.Int 3) ]) -> ()
+      | _ -> Alcotest.fail "root attrs wrong");
+      let counted =
+        List.find
+          (fun j ->
+            Obs.Json.member "name" j = Some (Obs.Json.String "counted"))
+          parsed
+      in
+      Alcotest.(check bool) "counter value" true
+        (Obs.Json.member "value" counted = Some (Obs.Json.Int 9)))
+
+(* --- pipeline integration ----------------------------------------------- *)
+
+let setup ?(scale = 0.12) text =
+  let db = Tpch.Gen.generate (Tpch.Gen.config scale) in
+  (db, Middleware.prepare_text db text)
+
+let test_greedy_plan_edge_spans () =
+  with_obs (fun () ->
+      let db, p = setup Queries.query1_text in
+      let oracle = R.Cost.oracle db in
+      let r =
+        Planner.gen_plan db oracle p.Middleware.tree p.Middleware.labels
+          Planner.default_params
+      in
+      let edge_spans = find_spans "plan.edge" in
+      (* one span per considered edge: each evaluates exactly three
+         fragment costs (combined, left, right), each a request or a
+         cache hit *)
+      Alcotest.(check int) "3 lookups per considered edge"
+        (r.Planner.requests + r.Planner.cache_hits)
+        (3 * List.length edge_spans);
+      Alcotest.(check bool) "first round considers every edge" true
+        (List.length edge_spans >= View_tree.edge_count p.Middleware.tree);
+      List.iter
+        (fun s ->
+          (match attr_exn s "edge" with
+          | Obs.Attr.String e ->
+              Alcotest.(check bool) "edge names both endpoints" true
+                (String.contains e '-')
+          | _ -> Alcotest.fail "edge attr not a string");
+          match attr_exn s "rel" with
+          | Obs.Attr.Float _ -> ()
+          | _ -> Alcotest.fail "rel attr not a float")
+        edge_spans;
+      Alcotest.(check (option int)) "requests counter" (Some r.Planner.requests)
+        (Obs.Metrics.counter_value "planner.requests");
+      Alcotest.(check (option int)) "cache_hits counter"
+        (Some r.Planner.cache_hits)
+        (Obs.Metrics.counter_value "planner.cache_hits");
+      Alcotest.(check bool) "cache saves requests" true (r.Planner.cache_hits > 0))
+
+let test_middleware_stage_spans () =
+  with_obs (fun () ->
+      let _, p = setup Queries.query1_text in
+      let plan = Middleware.partition_of p (Middleware.Greedy Planner.default_params) in
+      let e = Middleware.execute p plan in
+      ignore (Middleware.document_of p e);
+      List.iter
+        (fun stage ->
+          Alcotest.(check bool) (stage ^ " span present") true
+            (find_spans stage <> []);
+          let s = List.hd (find_spans stage) in
+          match attr_exn s "work" with
+          | Obs.Attr.Int _ -> ()
+          | _ -> Alcotest.failf "%s: work attr not an int" stage)
+        [
+          "middleware.prepare"; "middleware.plan"; "sqlgen.streams";
+          "middleware.execute"; "middleware.tag";
+        ];
+      (* executor operator spans appear under execute.stream *)
+      Alcotest.(check bool) "operator spans" true
+        (find_spans "exec.scan" <> [] && find_spans "exec.sort" <> []))
+
+let test_per_stream_stats () =
+  let _, p = setup Queries.query1_text in
+  let plan = Middleware.partition_of p Middleware.Fully_partitioned in
+  let e = Middleware.execute p plan in
+  Alcotest.(check int) "one stats record per stream" 10
+    (List.length e.Middleware.per_stream);
+  let sum f = List.fold_left (fun acc se -> acc + f se) 0 e.Middleware.per_stream in
+  Alcotest.(check int) "work is the sum of per-stream work" e.Middleware.work
+    (sum (fun se -> se.Middleware.se_stats.R.Executor.work));
+  Alcotest.(check int) "tuples is the sum of per-stream rows" e.Middleware.tuples
+    (sum (fun se -> R.Relation.cardinality se.Middleware.se_relation));
+  (* the records really are distinct, not one shared accumulator *)
+  let rec distinct = function
+    | [] -> true
+    | se :: rest ->
+        List.for_all
+          (fun se' ->
+            not (se.Middleware.se_stats == se'.Middleware.se_stats))
+          rest
+        && distinct rest
+  in
+  Alcotest.(check bool) "stats records not shared" true
+    (distinct e.Middleware.per_stream)
+
+let test_tracing_does_not_change_work () =
+  let _, p = setup Queries.query1_text in
+  let plan = Middleware.partition_of p Middleware.Unified in
+  let off = (Middleware.execute p plan).Middleware.work in
+  let on =
+    Obs.Control.with_enabled true (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Span.reset ();
+            Obs.Metrics.reset ())
+          (fun () -> (Middleware.execute p plan).Middleware.work))
+  in
+  Alcotest.(check int) "work identical with tracing on" off on
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
+    Alcotest.test_case "attribute capture" `Quick test_span_attrs;
+    Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+    Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "jsonl export" `Quick test_jsonl_export;
+    Alcotest.test_case "greedy emits plan.edge spans" `Quick
+      test_greedy_plan_edge_spans;
+    Alcotest.test_case "middleware stage spans" `Quick test_middleware_stage_spans;
+    Alcotest.test_case "per-stream stats breakdown" `Quick test_per_stream_stats;
+    Alcotest.test_case "tracing neutral on work counts" `Quick
+      test_tracing_does_not_change_work;
+  ]

@@ -1,0 +1,42 @@
+(* Validate a JSON-Lines trace file: every non-empty line must parse as
+   a JSON object with a "type" field, and there must be at least one.
+   Exit status 0 on success, 1 with a diagnostic otherwise.  Used by
+   check_trace.sh under `dune runtest` to guard the CLI's --trace-json
+   output against encoder drift. *)
+
+let fail line_no fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "check_jsonl: line %d: %s\n" line_no msg;
+      exit 1)
+    fmt
+
+let () =
+  if Array.length Sys.argv <> 2 then begin
+    prerr_endline "usage: check_jsonl FILE.jsonl";
+    exit 2
+  end;
+  let path = Sys.argv.(1) in
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         incr n;
+         match Obs.Json.parse line with
+         | exception Obs.Json.Parse_error msg -> fail !n "%s" msg
+         | Obs.Json.Obj _ as j -> (
+             match Obs.Json.member "type" j with
+             | Some (Obs.Json.String ("span" | "metric")) -> ()
+             | Some _ | None -> fail !n "missing or bad \"type\" field")
+         | _ -> fail !n "not a JSON object"
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !n = 0 then begin
+    Printf.eprintf "check_jsonl: %s: no JSONL lines\n" path;
+    exit 1
+  end;
+  Printf.printf "check_jsonl: %d valid line(s) in %s\n" !n path

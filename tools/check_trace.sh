@@ -1,0 +1,20 @@
+#!/bin/sh
+# Drive the CLI with --trace-json and validate that every emitted line
+# is well-formed JSONL.  Runs as a `dune runtest` rule (see tools/dune);
+# can also be run by hand:
+#
+#   sh tools/check_trace.sh _build/default/bin/silkroute_cli.exe \
+#       _build/default/tools/check_jsonl.exe
+set -eu
+
+# dune hands us bare relative paths; qualify them so sh does not fall
+# back to a PATH lookup
+case $1 in */*) cli=$1 ;; *) cli=./$1 ;; esac
+case $2 in */*) check=$2 ;; *) check=./$2 ;; esac
+
+tmp=$(mktemp "${TMPDIR:-/tmp}/silkroute_trace.XXXXXX")
+trap 'rm -f "$tmp"' EXIT INT TERM
+
+"$cli" run --query q1 --scale 0.05 --strategy greedy \
+    --trace-json "$tmp" > /dev/null
+"$check" "$tmp"

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Local CI: build, test, and (when ocamlformat is available) check
+# formatting.  The fmt check is gated because the toolchain image does
+# not ship ocamlformat; installing it locally enables the check with no
+# other change.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+if command -v ocamlformat > /dev/null 2>&1; then
+  echo "== dune build @fmt"
+  dune build @fmt
+else
+  echo "== skipping @fmt (ocamlformat not installed)"
+fi
+
+echo "== ci OK"
