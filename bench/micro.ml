@@ -30,6 +30,18 @@ let t_fig13 =
          let e = Sk.Middleware.execute p (Sk.Partition.of_mask p.Sk.Middleware.tree 37) in
          ignore (Sk.Middleware.xml_string_of p e)))
 
+let t_fig13_stream =
+  (* the same per-plan pipeline through the streaming path: cursors,
+     spooled sub-query results, heap merge, channel-free buffer sink *)
+  Test.make ~name:"fig13:plan-pipeline-streaming"
+    (Staged.stage (fun () ->
+         let p = Lazy.force prepared in
+         let se =
+           Sk.Middleware.execute_streaming p
+             (Sk.Partition.of_mask p.Sk.Middleware.tree 37)
+         in
+         ignore (Sk.Middleware.xml_string_of_streaming p se)))
+
 let t_fig14 =
   (* Fig. 14: the reduced variant of the same pipeline *)
   Test.make ~name:"fig14:reduced-pipeline"
@@ -56,7 +68,7 @@ let t_fig18 =
 
 let all_tests =
   Test.make_grouped ~name:"silkroute" ~fmt:"%s/%s"
-    [ t_table1; t_sec2; t_fig13; t_fig14; t_fig15; t_fig18 ]
+    [ t_table1; t_sec2; t_fig13; t_fig13_stream; t_fig14; t_fig15; t_fig18 ]
 
 let run () =
   Printf.printf "\nBechamel micro-benchmarks (one per reproduced artifact)\n";

@@ -5,6 +5,7 @@
    either the document or diagnostics.
 
      silkroute run --query q1 --scale 0.5 --strategy greedy
+     silkroute run --query q1 --stream          # cursor pipeline to stdout
      silkroute run --view my_view.rxl --strategy edges:37 --no-reduce
      silkroute explain --query q2
      silkroute plan --query q1 --scale 1.0
@@ -78,6 +79,15 @@ let no_reduce_arg =
 let pretty_arg =
   let doc = "Indent the XML output." in
   Arg.(value & flag & info [ "pretty" ] ~doc)
+
+let stream_arg =
+  let doc =
+    "Stream the XML to stdout as it is produced: sub-query results are \
+     spooled and merged through cursors, so memory stays bounded by the \
+     view-tree depth instead of the result size.  Incompatible with \
+     $(b,--pretty)."
+  in
+  Arg.(value & flag & info [ "stream" ] ~doc)
 
 let verbose_arg =
   let doc = "Log middleware activity (plans, streams) to stderr." in
@@ -160,19 +170,34 @@ let setup query view_file scale seed schema data =
   (db, S.Middleware.prepare_text db text)
 
 let run_cmd query view_file scale seed schema data strategy no_reduce pretty
-    verbose trace trace_json metrics =
+    stream verbose trace trace_json metrics =
   setup_logs verbose;
   setup_obs ~trace ~trace_json ~metrics;
+  if stream && pretty then
+    invalid_arg "--pretty requires the materialized path; drop --stream";
   let db, p = setup query view_file scale seed schema data in
   ignore db;
   let plan = S.Middleware.partition_of p (parse_strategy strategy) in
-  let e = S.Middleware.execute ~reduce:(not no_reduce) p plan in
-  if pretty then
-    print_string (Xmlkit.Serialize.to_pretty_string (S.Middleware.document_of p e))
-  else print_endline (S.Middleware.xml_string_of p e);
-  Printf.eprintf "[%d stream(s), %d tuples, %d work units, %.1f ms transfer]\n"
-    (List.length e.S.Middleware.streams)
-    e.S.Middleware.tuples e.S.Middleware.work e.S.Middleware.transfer_ms;
+  if stream then begin
+    let se = S.Middleware.execute_streaming ~reduce:(not no_reduce) p plan in
+    S.Middleware.stream_to_channel p se stdout;
+    print_newline ();
+    Printf.eprintf
+      "[%d stream(s), %d tuples, %d work units, %.1f ms transfer, streamed]\n"
+      (List.length se.S.Middleware.cursors)
+      se.S.Middleware.s_tuples se.S.Middleware.s_work
+      se.S.Middleware.s_transfer_ms
+  end
+  else begin
+    let e = S.Middleware.execute ~reduce:(not no_reduce) p plan in
+    if pretty then
+      print_string
+        (Xmlkit.Serialize.to_pretty_string (S.Middleware.document_of p e))
+    else print_endline (S.Middleware.xml_string_of p e);
+    Printf.eprintf "[%d stream(s), %d tuples, %d work units, %.1f ms transfer]\n"
+      (List.length e.S.Middleware.streams)
+      e.S.Middleware.tuples e.S.Middleware.work e.S.Middleware.transfer_ms
+  end;
   report_obs ~trace ~trace_json ~metrics
 
 let explain_cmd query view_file scale seed schema data strategy no_reduce =
@@ -213,8 +238,8 @@ let plan_cmd query view_file scale seed schema data no_reduce trace trace_json
 let run_t =
   Term.(
     const run_cmd $ query_arg $ view_arg $ scale_arg $ seed_arg $ schema_arg
-    $ data_arg $ strategy_arg $ no_reduce_arg $ pretty_arg $ verbose_arg
-    $ trace_arg $ trace_json_arg $ metrics_arg)
+    $ data_arg $ strategy_arg $ no_reduce_arg $ pretty_arg $ stream_arg
+    $ verbose_arg $ trace_arg $ trace_json_arg $ metrics_arg)
 
 let explain_t =
   Term.(

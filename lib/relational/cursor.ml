@@ -1,0 +1,103 @@
+(* Pull-based tuple cursors.
+
+   A cursor is the streaming counterpart of [Relation]: named columns
+   plus a pull function producing tuples one at a time.  The executor
+   hands back a cursor over a query's sorted output so consumers (the
+   merge tagger) can drop each tuple as soon as it has been processed;
+   [spool] additionally moves the backing rows out of the OCaml heap
+   into a temporary file, modeling a server-side result set read back
+   over the wire, so live memory during consumption is bounded by one
+   tuple per open cursor rather than by the result cardinality. *)
+
+type t = {
+  cols : string array;
+  mutable pull : unit -> Tuple.t option;
+}
+
+let create cols pull = { cols; pull }
+let cols c = c.cols
+let arity c = Array.length c.cols
+let next c = c.pull ()
+
+let empty cols =
+  { cols; pull = (fun () -> None) }
+
+let of_list cols rows =
+  let rest = ref rows in
+  {
+    cols;
+    pull =
+      (fun () ->
+        match !rest with
+        | [] -> None
+        | t :: tl ->
+            rest := tl;
+            Some t);
+  }
+
+let of_relation r = of_list (Relation.cols r) (Relation.rows r)
+
+let iter f c =
+  let rec go () =
+    match c.pull () with
+    | None -> ()
+    | Some t ->
+        f t;
+        go ()
+  in
+  go ()
+
+let fold f acc c =
+  let acc = ref acc in
+  iter (fun t -> acc := f !acc t) c;
+  !acc
+
+let to_list c = List.rev (fold (fun acc t -> t :: acc) [] c)
+let to_relation c = Relation.create c.cols (to_list c)
+
+(* Spooling: drain [c] into a temporary file now (invoking [on_row] per
+   tuple, in order — the hook for incremental stats/transfer accounting)
+   and return a cursor that deserializes the rows back on demand.  The
+   file is removed once the last row has been read; an abandoned cursor
+   leaks its spool file until process exit. *)
+let spool ?(on_row = fun (_ : Tuple.t) -> ()) (c : t) : t =
+  let path = Filename.temp_file "silkroute" ".spool" in
+  let oc = open_out_bin path in
+  let count = ref 0 in
+  (try
+     iter
+       (fun t ->
+         on_row t;
+         Marshal.to_channel oc (t : Tuple.t) [];
+         incr count)
+       c
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove path with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  let remaining = ref !count in
+  let ic = ref None in
+  let finish chan =
+    close_in_noerr chan;
+    ic := None;
+    try Sys.remove path with Sys_error _ -> ()
+  in
+  let pull () =
+    if !remaining <= 0 then None
+    else begin
+      let chan =
+        match !ic with
+        | Some chan -> chan
+        | None ->
+            let chan = open_in_bin path in
+            ic := Some chan;
+            chan
+      in
+      let (t : Tuple.t) = Marshal.from_channel chan in
+      decr remaining;
+      if !remaining = 0 then finish chan;
+      Some t
+    end
+  in
+  { cols = c.cols; pull }

@@ -1,0 +1,42 @@
+(** Pull-based tuple cursors: the streaming counterpart of {!Relation}.
+
+    A cursor pairs named columns with a pull function producing tuples
+    one at a time.  Cursors are single-use: once {!next} returns [None]
+    (or the rows have been drained by {!iter}/{!to_list}/…), the cursor
+    is exhausted.  The executor produces cursors over sorted query
+    output; the merge tagger consumes one cursor per stream, so tuples
+    become garbage as soon as they have been tagged. *)
+
+type t
+
+val create : string array -> (unit -> Tuple.t option) -> t
+(** [create cols pull] wraps a pull function.  [pull] must keep
+    returning [None] once the stream ends. *)
+
+val cols : t -> string array
+val arity : t -> int
+
+val next : t -> Tuple.t option
+(** Pull the next tuple, or [None] at end of stream. *)
+
+val empty : string array -> t
+val of_list : string array -> Tuple.t list -> t
+
+val of_relation : Relation.t -> t
+(** Cursor over a materialized relation's rows, in order. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Tuple.t list
+val to_relation : t -> Relation.t
+
+val spool : ?on_row:(Tuple.t -> unit) -> t -> t
+(** [spool c] drains [c] to a temporary file immediately (calling
+    [on_row] on each tuple, in stream order — the hook for incremental
+    row/byte/transfer accounting) and returns a cursor that reads the
+    tuples back on demand.  This bounds live heap memory during
+    consumption to one tuple per open cursor, independent of the result
+    cardinality, modeling a server-side result set streamed over the
+    wire.  The spool file is deleted when the last tuple is read; a
+    cursor abandoned before exhaustion leaks its file until process
+    exit. *)

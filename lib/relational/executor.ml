@@ -345,9 +345,15 @@ and eval_from ctx (from : Sql.table_ref list) (where : Expr.t option) : rel =
             | leftover ->
                 (* Conjuncts never became applicable: resolution error. *)
                 let pred = resolver current.header (Expr.conjoin leftover) in
-                { current with
-                  tuples = List.filter (Expr.eval_pred pred) current.tuples
-                })
+                let tuples =
+                  List.filter (Expr.eval_pred pred) current.tuples
+                in
+                (* Late-resolving filters must charge like any other
+                   filter (`Emit` per surviving row, as [apply_filters]
+                   does), or plans whose predicates resolve late would
+                   undercount work versus equivalent plans. *)
+                charge ctx `Emit (List.length tuples);
+                { current with tuples })
         | _ ->
             let next, rest =
               match
@@ -355,7 +361,10 @@ and eval_from ctx (from : Sql.table_ref list) (where : Expr.t option) : rel =
               with
               | n :: ns, others -> (n, ns @ others)
               | [], r :: rs -> (r, rs)
-              | [], [] -> assert false
+              | [], [] ->
+                  invalid_arg
+                    "Executor: internal error — join ordering ran out of \
+                     tables while the FROM list was non-empty"
             in
             let right = eval_table_ref ctx next in
             (* Use the applicable cross-table conjuncts as the join
@@ -414,7 +423,11 @@ and eval_body ctx (b : Sql.body) : rel =
         invalid_arg "Executor: UNION ALL branches have different arity";
       { ra with tuples = ra.tuples @ rb.tuples }
 
-and eval_query ctx (q : Sql.query) : Relation.t =
+(* Evaluate a full query down to its sorted output rows without wrapping
+   them in a [Relation]: shared by the materializing ([eval_query]) and
+   cursor ([run_cursor_with_stats]) entry points, so both charge exactly
+   the same work. *)
+and eval_sorted ctx (q : Sql.query) : string array * Tuple.t list =
   let result = eval_body ctx q.body in
   let cols = Array.map snd result.header in
   let tuples =
@@ -467,23 +480,41 @@ and eval_query ctx (q : Sql.query) : Relation.t =
         end;
         List.stable_sort cmp result.tuples)
   in
+  (cols, tuples)
+
+and eval_query ctx (q : Sql.query) : Relation.t =
+  let cols, tuples = eval_sorted ctx q in
   Relation.create cols tuples
+
+let query_span_attrs ctx rows =
+  if Obs.Span.tracing () then
+    Obs.Span.add_list
+      [
+        Obs.Attr.int "rows" rows;
+        Obs.Attr.int "scanned" ctx.st.scanned;
+        Obs.Attr.int "probed" ctx.st.probed;
+        Obs.Attr.int "emitted" ctx.st.emitted;
+        Obs.Attr.int "sorted" ctx.st.sorted;
+        Obs.Attr.int "spill_passes" ctx.st.spill_passes;
+        Obs.Attr.int "work" ctx.st.work;
+      ]
 
 let run_with_stats ?(budget = 0) ?(profile = default_profile) db (q : Sql.query) =
   Obs.Span.with_span "exec.query" (fun () ->
       let ctx = { db; st = new_stats (); budget; profile } in
       let rel = eval_query ctx q in
-      if Obs.Span.tracing () then
-        Obs.Span.add_list
-          [
-            Obs.Attr.int "rows" (Relation.cardinality rel);
-            Obs.Attr.int "scanned" ctx.st.scanned;
-            Obs.Attr.int "probed" ctx.st.probed;
-            Obs.Attr.int "emitted" ctx.st.emitted;
-            Obs.Attr.int "sorted" ctx.st.sorted;
-            Obs.Attr.int "spill_passes" ctx.st.spill_passes;
-            Obs.Attr.int "work" ctx.st.work;
-          ];
+      query_span_attrs ctx (Relation.cardinality rel);
       (rel, ctx.st))
 
 let run ?budget ?profile db q = fst (run_with_stats ?budget ?profile db q)
+
+let run_cursor_with_stats ?(budget = 0) ?(profile = default_profile) db
+    (q : Sql.query) =
+  Obs.Span.with_span "exec.query" (fun () ->
+      let ctx = { db; st = new_stats (); budget; profile } in
+      let cols, tuples = eval_sorted ctx q in
+      query_span_attrs ctx (List.length tuples);
+      (Cursor.of_list cols tuples, ctx.st))
+
+let run_cursor ?budget ?profile db q =
+  fst (run_cursor_with_stats ?budget ?profile db q)

@@ -45,3 +45,14 @@ val run : ?budget:int -> ?profile:profile -> Database.t -> Sql.query -> Relation
 
 val run_with_stats :
   ?budget:int -> ?profile:profile -> Database.t -> Sql.query -> Relation.t * stats
+
+val run_cursor :
+  ?budget:int -> ?profile:profile -> Database.t -> Sql.query -> Cursor.t
+(** Like {!run}, but hands back the sorted output as a pull cursor
+    instead of a materialized {!Relation.t}: rows are dropped as the
+    consumer advances.  Evaluation (and therefore work accounting) is
+    identical to {!run} — both go through the same operator pipeline and
+    sort. *)
+
+val run_cursor_with_stats :
+  ?budget:int -> ?profile:profile -> Database.t -> Sql.query -> Cursor.t * stats

@@ -100,11 +100,61 @@ type execution = {
 
 let total_wall_ms e = e.query_wall_ms +. e.transfer_ms
 
-exception Plan_timeout of string
+(* Which sub-query blew the budget, and where it sat in the plan:
+   without this, a timeout in a multi-stream plan loses the partial
+   per-stream picture and the trace cannot say which fragment was at
+   fault. *)
+type timeout_info = {
+  timeout_sql : string; (* the offending SQL text *)
+  timeout_stream : int; (* index of the stream in plan order *)
+  timeout_root : string; (* fragment root's Skolem-function name *)
+  timeout_elapsed_ms : float; (* wall time spent before the budget hit *)
+}
+
+exception Plan_timeout of timeout_info
 (* A sub-query exceeded the execution budget (the paper's 5-minute
    per-query timeout). *)
 
 let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* Shared by the materialized and streaming paths: run one sub-query
+   through the SQL text round-trip, mapping an engine [Timeout] to
+   [Plan_timeout] with the stream's position and fragment root, and
+   marking the enclosing span so traces show which sub-query blew the
+   budget. *)
+let run_stream_query ~runner ~print_sql ~budget ~profile (p : prepared) i
+    (s : Sql_gen.stream) =
+  let text = print_sql s.Sql_gen.query in
+  let root_name =
+    View_tree.skolem_name
+      (View_tree.node p.tree s.Sql_gen.fragment.Partition.root).View_tree.sfi
+  in
+  (* round-trip through the SQL text interface, as the middleware does *)
+  let ast = R.Sql_parser.parse text in
+  let t0 = now_ms () in
+  let result =
+    try runner ~budget ~profile p.db ast
+    with R.Executor.Timeout ->
+      let elapsed = now_ms () -. t0 in
+      if Obs.Span.tracing () then
+        Obs.Span.add_list
+          [
+            Obs.Attr.bool "timeout" true;
+            Obs.Attr.int "timeout.stream" i;
+            Obs.Attr.string "timeout.root" root_name;
+            Obs.Attr.float "timeout.elapsed_ms" elapsed;
+          ];
+      raise
+        (Plan_timeout
+           {
+             timeout_sql = text;
+             timeout_stream = i;
+             timeout_root = root_name;
+             timeout_elapsed_ms = elapsed;
+           })
+  in
+  let t1 = now_ms () in
+  (text, root_name, result, t1 -. t0)
 
 let execute ?(style = Sql_gen.Outer_join) ?(reduce = false) ?(budget = 0)
     ?(profile = R.Executor.default_profile) ?(transfer = R.Transfer.default)
@@ -119,18 +169,15 @@ let execute ?(style = Sql_gen.Outer_join) ?(reduce = false) ?(budget = 0)
   in
   let run i (s : Sql_gen.stream) : stream_exec =
     Obs.Span.with_span "execute.stream" (fun () ->
-        let text = print_sql s.Sql_gen.query in
-        (* round-trip through the SQL text interface, as the middleware does *)
-        let ast = R.Sql_parser.parse text in
-        let t0 = now_ms () in
-        let rel, stats =
-          try R.Executor.run_with_stats ~budget ~profile p.db ast
-          with R.Executor.Timeout -> raise (Plan_timeout text)
+        let text, root_name, (rel, stats), wall_ms =
+          run_stream_query
+            ~runner:(fun ~budget ~profile db ast ->
+              R.Executor.run_with_stats ~budget ~profile db ast)
+            ~print_sql ~budget ~profile p i s
         in
-        let t1 = now_ms () in
         Log.debug (fun m ->
             m "stream: %d rows, %d work units, %.1f ms — %s"
-              (R.Relation.cardinality rel) stats.R.Executor.work (t1 -. t0)
+              (R.Relation.cardinality rel) stats.R.Executor.work wall_ms
               (if String.length text > 80 then String.sub text 0 80 ^ "…"
                else text));
         if Obs.Span.tracing () then begin
@@ -139,10 +186,7 @@ let execute ?(style = Sql_gen.Outer_join) ?(reduce = false) ?(budget = 0)
           Obs.Span.add_list
             [
               Obs.Attr.int "index" i;
-              Obs.Attr.string "root"
-                (View_tree.skolem_name
-                   (View_tree.node p.tree s.Sql_gen.fragment.Partition.root)
-                     .View_tree.sfi);
+              Obs.Attr.string "root" root_name;
               Obs.Attr.int "rows" rows;
               Obs.Attr.int "bytes" bytes;
               Obs.Attr.int "work" stats.R.Executor.work;
@@ -158,7 +202,7 @@ let execute ?(style = Sql_gen.Outer_join) ?(reduce = false) ?(budget = 0)
           se_relation = rel;
           se_sql = text;
           se_stats = stats;
-          se_wall_ms = t1 -. t0;
+          se_wall_ms = wall_ms;
         })
   in
   let per_stream = List.mapi run streams in
@@ -203,6 +247,137 @@ let document_of p (e : execution) : Xmlkit.Xml.t =
 
 let xml_string_of p (e : execution) : string =
   Tagger.to_string p.tree e.streams
+
+(* --- streaming execution ----------------------------------------------- *)
+
+(* Per-stream breakdown of a streaming execution: stats are complete
+   (the engine has run and the rows are spooled), but the rows
+   themselves are only reachable through the cursor. *)
+type stream_cursor = {
+  sc_stream : Sql_gen.stream;
+  sc_cursor : R.Cursor.t;
+  sc_sql : string;
+  sc_stats : R.Executor.stats;
+  sc_wall_ms : float;
+  sc_rows : int;
+  sc_bytes : int;
+  sc_transfer_ms : float;
+}
+
+type streaming = {
+  cursors : (Sql_gen.stream * R.Cursor.t) list;
+  s_per_stream : stream_cursor list;
+  s_sql_texts : string list;
+  s_query_wall_ms : float;
+  s_transfer_ms : float;
+  s_work : int;
+  s_tuples : int;
+  s_bytes : int;
+}
+
+let execute_streaming ?(style = Sql_gen.Outer_join) ?(reduce = false)
+    ?(budget = 0) ?(profile = R.Executor.default_profile)
+    ?(transfer = R.Transfer.default) ?(sql_syntax = `Derived) (p : prepared)
+    (plan : Partition.t) : streaming =
+ Obs.Span.with_span "middleware.execute" (fun () ->
+  if Obs.Span.tracing () then Obs.Span.add "mode" (Obs.Attr.String "streaming");
+  let opts = options_of p ~style ~reduce in
+  let streams = Sql_gen.streams p.db p.tree plan opts in
+  let print_sql =
+    match sql_syntax with
+    | `Derived -> R.Sql_print.to_string
+    | `With -> R.Sql_print.to_with_string
+  in
+  let run i (s : Sql_gen.stream) : stream_cursor =
+    Obs.Span.with_span "execute.stream" (fun () ->
+        let text, root_name, (cur, stats), wall_ms =
+          run_stream_query
+            ~runner:(fun ~budget ~profile db ast ->
+              R.Executor.run_cursor_with_stats ~budget ~profile db ast)
+            ~print_sql ~budget ~profile p i s
+        in
+        (* Spool the sorted rows out of the heap, accounting rows, bytes
+           and modeled transfer per tuple as they pass — nothing below
+           retains the result list. *)
+        let rows = ref 0 and bytes = ref 0 in
+        let transfer_ms = ref transfer.R.Transfer.per_stream_overhead in
+        let spooled =
+          R.Cursor.spool
+            ~on_row:(fun t ->
+              incr rows;
+              bytes := !bytes + R.Tuple.wire_size t;
+              transfer_ms := !transfer_ms +. R.Transfer.tuple_ms transfer t)
+            cur
+        in
+        Log.debug (fun m ->
+            m "stream (spooled): %d rows, %d work units, %.1f ms — %s" !rows
+              stats.R.Executor.work wall_ms
+              (if String.length text > 80 then String.sub text 0 80 ^ "…"
+               else text));
+        if Obs.Span.tracing () then begin
+          Obs.Span.add_list
+            [
+              Obs.Attr.int "index" i;
+              Obs.Attr.string "root" root_name;
+              Obs.Attr.int "rows" !rows;
+              Obs.Attr.int "bytes" !bytes;
+              Obs.Attr.int "work" stats.R.Executor.work;
+              Obs.Attr.bool "spooled" true;
+            ];
+          Obs.Metrics.incr "execute.streams";
+          Obs.Metrics.observe "execute.stream.work"
+            (float_of_int stats.R.Executor.work);
+          Obs.Metrics.observe "execute.stream.rows" (float_of_int !rows);
+          Obs.Metrics.observe "execute.stream.bytes" (float_of_int !bytes)
+        end;
+        {
+          sc_stream = s;
+          sc_cursor = spooled;
+          sc_sql = text;
+          sc_stats = stats;
+          sc_wall_ms = wall_ms;
+          sc_rows = !rows;
+          sc_bytes = !bytes;
+          sc_transfer_ms = !transfer_ms;
+        })
+  in
+  let per_stream = List.mapi run streams in
+  let work =
+    List.fold_left
+      (fun acc sc -> acc + sc.sc_stats.R.Executor.work)
+      0 per_stream
+  in
+  let tuples = List.fold_left (fun acc sc -> acc + sc.sc_rows) 0 per_stream in
+  let bytes = List.fold_left (fun acc sc -> acc + sc.sc_bytes) 0 per_stream in
+  if Obs.Span.tracing () then
+    Obs.Span.add_list
+      [
+        Obs.Attr.int "streams" (List.length per_stream);
+        Obs.Attr.int "tuples" tuples;
+        Obs.Attr.int "bytes" bytes;
+        Obs.Attr.int "work" work;
+      ];
+  {
+    cursors = List.map (fun sc -> (sc.sc_stream, sc.sc_cursor)) per_stream;
+    s_per_stream = per_stream;
+    s_sql_texts = List.map (fun sc -> sc.sc_sql) per_stream;
+    s_query_wall_ms =
+      List.fold_left (fun acc sc -> acc +. sc.sc_wall_ms) 0.0 per_stream;
+    s_transfer_ms =
+      List.fold_left (fun acc sc -> acc +. sc.sc_transfer_ms) 0.0 per_stream;
+    s_work = work;
+    s_tuples = tuples;
+    s_bytes = bytes;
+  })
+
+let document_of_streaming p (se : streaming) : Xmlkit.Xml.t =
+  Tagger.to_document_cursors p.tree se.cursors
+
+let xml_string_of_streaming p (se : streaming) : string =
+  Tagger.to_string_cursors p.tree se.cursors
+
+let stream_to_channel p (se : streaming) oc : unit =
+  Tagger.to_channel p.tree se.cursors oc
 
 (* One-call convenience: materialize the XML view of [db] under
    [strategy]. *)

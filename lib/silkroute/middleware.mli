@@ -52,9 +52,19 @@ type execution = {
 val total_wall_ms : execution -> float
 (** query + transfer, the paper's Total time. *)
 
-exception Plan_timeout of string
+(** Which sub-query exceeded the budget, and where it sat in the plan. *)
+type timeout_info = {
+  timeout_sql : string;  (** the offending SQL text *)
+  timeout_stream : int;  (** index of the stream in plan order *)
+  timeout_root : string;  (** fragment root's Skolem-function name *)
+  timeout_elapsed_ms : float;  (** wall time spent before the budget hit *)
+}
+
+exception Plan_timeout of timeout_info
 (** A sub-query exceeded the work budget (the paper's 5-minute
-    per-query timeout); carries the SQL text. *)
+    per-query timeout).  The enclosing [execute.stream] span also gets
+    [timeout]/[timeout.stream]/[timeout.root]/[timeout.elapsed_ms]
+    attributes so traces show which sub-query blew the budget. *)
 
 val execute :
   ?style:Sql_gen.style ->
@@ -72,6 +82,61 @@ val execute :
 
 val document_of : prepared -> execution -> Xmlkit.Xml.t
 val xml_string_of : prepared -> execution -> string
+
+(** Per-stream breakdown of a streaming execution.  Stats, row/byte
+    counts and modeled transfer are complete (accounted tuple-by-tuple
+    while the result was spooled); the rows themselves are reachable
+    only through the single-use cursor. *)
+type stream_cursor = {
+  sc_stream : Sql_gen.stream;
+  sc_cursor : Relational.Cursor.t;
+  sc_sql : string;
+  sc_stats : Relational.Executor.stats;
+  sc_wall_ms : float;
+  sc_rows : int;
+  sc_bytes : int;
+  sc_transfer_ms : float;
+}
+
+(** Result of a streaming execution: one spooled cursor per stream in
+    plan order, plus the same accounting as {!execution} — work units,
+    tuple/byte totals and modeled transfer are identical to the
+    materialized path on the same plan.  Cursors are single-use: exactly
+    one of {!document_of_streaming}, {!xml_string_of_streaming} or
+    {!stream_to_channel} may consume a given value. *)
+type streaming = {
+  cursors : (Sql_gen.stream * Relational.Cursor.t) list;
+  s_per_stream : stream_cursor list;
+  s_sql_texts : string list;
+  s_query_wall_ms : float;
+  s_transfer_ms : float;
+  s_work : int;
+  s_tuples : int;
+  s_bytes : int;
+}
+
+val execute_streaming :
+  ?style:Sql_gen.style ->
+  ?reduce:bool ->
+  ?budget:int ->
+  ?profile:Relational.Executor.profile ->
+  ?transfer:Relational.Transfer.config ->
+  ?sql_syntax:[ `Derived | `With ] ->
+  prepared ->
+  Partition.t ->
+  streaming
+(** Like {!execute}, but each sub-query's sorted output is spooled to a
+    temporary file (modeling a server-side result set) instead of being
+    retained as a relation: live heap memory from here through tagging
+    is bounded by the view-tree depth plus one tuple per stream,
+    independent of the database size. *)
+
+val document_of_streaming : prepared -> streaming -> Xmlkit.Xml.t
+val xml_string_of_streaming : prepared -> streaming -> string
+
+val stream_to_channel : prepared -> streaming -> out_channel -> unit
+(** Tag and serialize straight to a channel; the document is never held
+    in memory. *)
 
 val materialize :
   ?style:Sql_gen.style ->

@@ -358,7 +358,11 @@ let rec build_group db tree groups (layout : layout) ~edge_label
       in
       let union_body =
         match List.map (fun q -> q.Sql.body) kid_queries with
-        | [] -> assert false
+        | [] ->
+            invalid_arg
+              "Sql_gen: internal error — branch group has no child queries \
+               (degenerate reduced view; report the RXL view that produced \
+               this)"
         | b0 :: rest -> List.fold_left (fun acc b -> Sql.Union_all (acc, b)) b0 rest
       in
       let gvars = body_vars db b in

@@ -14,7 +14,13 @@
    and opens the remainder of its path.  Text contents and fused children
    are held per open element as pending items ordered by their sibling
    index and flushed when a later sibling arrives or the element
-   closes. *)
+   closes.
+
+   Streams are consumed through pull cursors and merged with a binary
+   min-heap keyed by [compare_heads] (ties broken by stream position, so
+   the merge order is identical to a left-to-right scan): selecting the
+   next tuple costs O(log streams) comparator calls instead of a linear
+   scan over every stream head per tuple. *)
 
 module R = Relational
 
@@ -68,14 +74,18 @@ let flush_pending tree sink (e : open_elem) threshold =
 (* --- streams ------------------------------------------------------------ *)
 
 type stream_state = {
+  sid : int; (* position in the stream list; merge tie-break *)
   desc : Sql_gen.stream;
-  mutable rows : R.Tuple.t list;
+  cursor : R.Cursor.t;
+  mutable head : R.Tuple.t option;
   level_idx : int array; (* per level 1..max: column index or -1 *)
   var_idx : (string * int) list; (* variable -> column index *)
   member_set : int list;
 }
 
-let build_stream_state tree (desc : Sql_gen.stream) (rel : R.Relation.t) :
+let advance st = st.head <- R.Cursor.next st.cursor
+
+let build_stream_state tree sid (desc : Sql_gen.stream) (cur : R.Cursor.t) :
     stream_state =
   let cols = desc.Sql_gen.cols in
   let find_col k =
@@ -101,15 +111,21 @@ let build_stream_state tree (desc : Sql_gen.stream) (rel : R.Relation.t) :
     |> List.filter_map (fun (i, c) ->
            match c with Sql_gen.Var_col v -> Some (v, i) | _ -> None)
   in
-  if Array.length (R.Relation.cols rel) <> Array.length cols then
-    invalid_arg "Tagger: relation arity does not match stream descriptor";
-  {
-    desc;
-    rows = R.Relation.rows rel;
-    level_idx;
-    var_idx;
-    member_set = desc.Sql_gen.fragment.Partition.members;
-  }
+  if R.Cursor.arity cur <> Array.length cols then
+    invalid_arg "Tagger: cursor arity does not match stream descriptor";
+  let st =
+    {
+      sid;
+      desc;
+      cursor = cur;
+      head = None;
+      level_idx;
+      var_idx;
+      member_set = desc.Sql_gen.fragment.Partition.members;
+    }
+  in
+  advance st;
+  st
 
 let head_value st (t : R.Tuple.t) v =
   match List.assoc_opt v st.var_idx with
@@ -156,13 +172,85 @@ let compare_heads child_by_component tree sa ta sb tb =
   in
   go (-1) 1
 
+(* --- heap of stream heads ----------------------------------------------- *)
+
+(* Binary min-heap over stream states, each holding a non-empty head.
+   The order is (compare_heads, sid): on equal heads the earlier stream
+   wins, exactly reproducing the order a left-to-right linear scan with
+   strict [<] replacement would select. *)
+module Head_heap = struct
+  type t = {
+    arr : stream_state array; (* arr.(0..size-1) is the heap *)
+    mutable size : int;
+    less : stream_state -> stream_state -> bool;
+  }
+
+  let head_exn st =
+    match st.head with
+    | Some t -> t
+    | None -> invalid_arg "Tagger: empty stream in merge heap"
+
+  let create less states =
+    let live = List.filter (fun st -> st.head <> None) states in
+    let h =
+      { arr = Array.of_list live; size = List.length live; less }
+    in
+    (* heapify bottom-up *)
+    for i = (h.size / 2) - 1 downto 0 do
+      let rec sift i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let m = ref i in
+        if l < h.size && h.less h.arr.(l) h.arr.(!m) then m := l;
+        if r < h.size && h.less h.arr.(r) h.arr.(!m) then m := r;
+        if !m <> i then begin
+          let tmp = h.arr.(i) in
+          h.arr.(i) <- h.arr.(!m);
+          h.arr.(!m) <- tmp;
+          sift !m
+        end
+      in
+      sift i
+    done;
+    h
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = ref i in
+    if l < h.size && h.less h.arr.(l) h.arr.(!m) then m := l;
+    if r < h.size && h.less h.arr.(r) h.arr.(!m) then m := r;
+    if !m <> i then begin
+      let tmp = h.arr.(i) in
+      h.arr.(i) <- h.arr.(!m);
+      h.arr.(!m) <- tmp;
+      sift_down h !m
+    end
+
+  let min h = if h.size = 0 then None else Some h.arr.(0)
+
+  (* The minimum's head changed (advanced) or emptied: restore order. *)
+  let reposition_min h =
+    if h.size > 0 then begin
+      if h.arr.(0).head = None then begin
+        h.size <- h.size - 1;
+        if h.size > 0 then h.arr.(0) <- h.arr.(h.size)
+      end;
+      if h.size > 0 then sift_down h 0
+    end
+end
+
 (* --- per-tuple processing ----------------------------------------------- *)
 
+(* The open-element stack is stored root-first in a fixed array sized by
+   the view-tree depth, with [depth] tracked incrementally: matching a
+   tuple's path against the stack, closing to a depth and finding the
+   parent are all O(1) per step, with no per-tuple [List.length] or
+   [List.rev] recomputation. *)
 type ctx = {
   tree : View_tree.t;
   sink : sink;
   child_by_component : (int * int, int) Hashtbl.t; (* (parent|-1, comp) -> id *)
-  mutable stack : open_elem list; (* innermost first *)
+  stack : open_elem option array; (* stack.(0) is outermost; root-first *)
+  mutable depth : int; (* open elements = stack.(0 .. depth-1) *)
 }
 
 let make_ctx tree sink =
@@ -173,7 +261,13 @@ let make_ctx tree sink =
       let parent = match n.View_tree.parent with Some p -> p | None -> -1 in
       Hashtbl.replace child_by_component (parent, comp) n.View_tree.id)
     tree.View_tree.nodes;
-  { tree; sink; child_by_component; stack = [] }
+  let max_level =
+    Array.fold_left
+      (fun m n -> max m (View_tree.level n))
+      0 tree.View_tree.nodes
+  in
+  { tree; sink; child_by_component; stack = Array.make (max_level + 1) None;
+    depth = 0 }
 
 (* The node-id path denoted by a tuple (L columns until NULL/absent). *)
 let path_of ctx st (t : R.Tuple.t) : int list =
@@ -196,15 +290,20 @@ let identity_of st t (n : View_tree.node) =
   List.map (fun v -> head_value st t v) n.View_tree.key_vars
 
 let close_one ctx =
-  match ctx.stack with
-  | [] -> ()
-  | e :: rest ->
-      flush_pending ctx.tree ctx.sink e None;
-      ctx.sink.on_close (View_tree.node ctx.tree e.o_node).View_tree.tag;
-      ctx.stack <- rest
+  if ctx.depth > 0 then begin
+    let e =
+      match ctx.stack.(ctx.depth - 1) with
+      | Some e -> e
+      | None -> invalid_arg "Tagger: open-element stack out of sync"
+    in
+    flush_pending ctx.tree ctx.sink e None;
+    ctx.sink.on_close (View_tree.node ctx.tree e.o_node).View_tree.tag;
+    ctx.stack.(ctx.depth - 1) <- None;
+    ctx.depth <- ctx.depth - 1
+  end
 
 let rec close_to_depth ctx depth =
-  if List.length ctx.stack > depth then begin
+  if ctx.depth > depth then begin
     close_one ctx;
     close_to_depth ctx depth
   end
@@ -252,16 +351,17 @@ let initial_pending tree st t id : pending_item list =
 (* Open element [id] under the current stack top. *)
 let open_element ctx st t id =
   let n = View_tree.node ctx.tree id in
+  let parent = if ctx.depth > 0 then ctx.stack.(ctx.depth - 1) else None in
   (* flush earlier-sibling pendings of the parent *)
-  (match ctx.stack with
-  | parent :: _ ->
+  (match parent with
+  | Some parent ->
       flush_pending ctx.tree ctx.sink parent (Some n.View_tree.sibling_index)
-  | [] -> ());
+  | None -> ());
   (* if this node is pending in the parent as a fused child (its data
      rode in on an earlier group tuple), adopt that payload *)
   let adopted =
-    match ctx.stack with
-    | parent :: _ ->
+    match parent with
+    | Some parent ->
         let found = ref None in
         parent.o_pending <-
           List.filter
@@ -273,7 +373,7 @@ let open_element ctx st t id =
               | _ -> true)
             parent.o_pending;
         !found
-    | [] -> None
+    | None -> None
   in
   let pending =
     match adopted with
@@ -281,31 +381,35 @@ let open_element ctx st t id =
     | None -> initial_pending ctx.tree st t id
   in
   ctx.sink.on_open n.View_tree.tag;
-  ctx.stack <-
-    { o_node = id; o_identity = identity_of st t n; o_pending = pending }
-    :: ctx.stack
+  if ctx.depth >= Array.length ctx.stack then
+    invalid_arg "Tagger: tuple path deeper than the view tree";
+  ctx.stack.(ctx.depth) <-
+    Some { o_node = id; o_identity = identity_of st t n; o_pending = pending };
+  ctx.depth <- ctx.depth + 1
 
 let process_tuple ctx st (t : R.Tuple.t) =
   let path = path_of ctx st t in
   (* find the depth up to which the stack matches the path *)
-  let stack_rev = List.rev ctx.stack in
-  let rec common depth stack path =
-    match (stack, path) with
-    | e :: srest, id :: prest
-      when e.o_node = id
-           && List.for_all2 R.Value.equal e.o_identity
-                (identity_of st t (View_tree.node ctx.tree id)) ->
-        common (depth + 1) srest prest
+  let rec common depth path =
+    match path with
+    | id :: prest when depth < ctx.depth -> (
+        match ctx.stack.(depth) with
+        | Some e
+          when e.o_node = id
+               && List.for_all2 R.Value.equal e.o_identity
+                    (identity_of st t (View_tree.node ctx.tree id)) ->
+            common (depth + 1) prest
+        | _ -> (depth, path))
     | _ -> (depth, path)
   in
-  let depth, to_open = common 0 stack_rev path in
+  let depth, to_open = common 0 path in
   close_to_depth ctx depth;
   List.iter (fun id -> open_element ctx st t id) to_open
 
 (* --- driver -------------------------------------------------------------- *)
 
-let tag tree (streams : (Sql_gen.stream * R.Relation.t) list) (sink : sink) :
-    unit =
+let tag_cursors tree (streams : (Sql_gen.stream * R.Cursor.t) list)
+    (sink : sink) : unit =
  Obs.Span.with_span "middleware.tag" (fun () ->
   let opens = ref 0 and texts = ref 0 in
   let sink =
@@ -324,31 +428,27 @@ let tag tree (streams : (Sql_gen.stream * R.Relation.t) list) (sink : sink) :
     else sink
   in
   let states =
-    List.map (fun (d, r) -> build_stream_state tree d r) streams
+    List.mapi (fun i (d, c) -> build_stream_state tree i d c) streams
   in
-  let tuples_in =
-    List.fold_left (fun acc st -> acc + List.length st.rows) 0 states
-  in
+  let tuples_in = ref 0 in
   let ctx = make_ctx tree sink in
+  let less a b =
+    let c =
+      compare_heads ctx.child_by_component tree a (Head_heap.head_exn a) b
+        (Head_heap.head_exn b)
+    in
+    if c <> 0 then c < 0 else a.sid < b.sid
+  in
+  let heap = Head_heap.create less states in
   sink.on_open tree.View_tree.root_tag;
   let rec loop () =
-    (* pick the stream with the smallest head tuple *)
-    let best =
-      List.fold_left
-        (fun best st ->
-          match (st.rows, best) with
-          | [], _ -> best
-          | t :: _, None -> Some (st, t)
-          | t :: _, Some (bst, bt) ->
-              if compare_heads ctx.child_by_component tree st t bst bt < 0 then
-                Some (st, t)
-              else best)
-        None states
-    in
-    match best with
+    match Head_heap.min heap with
     | None -> ()
-    | Some (st, t) ->
-        st.rows <- List.tl st.rows;
+    | Some st ->
+        let t = Head_heap.head_exn st in
+        advance st;
+        Head_heap.reposition_min heap;
+        incr tuples_in;
         process_tuple ctx st t;
         loop ()
   in
@@ -359,14 +459,20 @@ let tag tree (streams : (Sql_gen.stream * R.Relation.t) list) (sink : sink) :
     Obs.Span.add_list
       [
         Obs.Attr.int "streams" (List.length streams);
-        Obs.Attr.int "tuples" tuples_in;
+        Obs.Attr.int "tuples" !tuples_in;
         Obs.Attr.int "elements" !opens;
         Obs.Attr.int "texts" !texts;
         Obs.Attr.int "work" !opens;
       ];
     Obs.Metrics.incr ~by:!opens "tag.elements";
-    Obs.Metrics.observe "tag.tuples" (float_of_int tuples_in)
+    Obs.Metrics.observe "tag.tuples" (float_of_int !tuples_in)
   end)
+
+let tag tree (streams : (Sql_gen.stream * R.Relation.t) list) (sink : sink) :
+    unit =
+  tag_cursors tree
+    (List.map (fun (d, r) -> (d, R.Cursor.of_relation r)) streams)
+    sink
 
 (* Sink building an in-memory document (tests, validation). *)
 let document_sink () =
@@ -411,6 +517,11 @@ let to_document tree streams : Xmlkit.Xml.t =
   tag tree streams sink;
   get ()
 
+let to_document_cursors tree streams : Xmlkit.Xml.t =
+  let sink, get = document_sink () in
+  tag_cursors tree streams sink;
+  get ()
+
 (* Sink serializing directly to a buffer: the constant-space path. *)
 let buffer_sink buf =
   {
@@ -431,3 +542,28 @@ let to_string tree streams : string =
   let buf = Buffer.create 4096 in
   tag tree streams (buffer_sink buf);
   Buffer.contents buf
+
+let to_string_cursors tree streams : string =
+  let buf = Buffer.create 4096 in
+  tag_cursors tree streams (buffer_sink buf);
+  Buffer.contents buf
+
+(* Sink writing straight to a channel: XML leaves the process as it is
+   produced, without ever holding the whole document in memory. *)
+let channel_sink oc =
+  {
+    on_open =
+      (fun tag ->
+        output_char oc '<';
+        output_string oc tag;
+        output_char oc '>');
+    on_text = (fun s -> output_string oc (Xmlkit.Serialize.escape s));
+    on_close =
+      (fun tag ->
+        output_string oc "</";
+        output_string oc tag;
+        output_char oc '>');
+  }
+
+let to_channel tree streams oc : unit =
+  tag_cursors tree streams (channel_sink oc)

@@ -4,30 +4,62 @@
     tree's global sort-attribute order, re-nests tuples and emits tags in
     a single pass.  Memory is bounded by the view-tree size (open-element
     stack plus pending text/fused payloads per element), not by the
-    database size. *)
+    database size.
 
-(** Event consumer.  {!buffer_sink} serializes directly (the
-    constant-space path); {!document_sink} builds an in-memory tree for
-    validation and tests. *)
+    Streams are consumed through pull cursors ({!Relational.Cursor}) and
+    merged with a binary min-heap keyed by the hierarchical head
+    comparator — O(log streams) per tuple, ties broken by stream
+    position so the merge order matches a left-to-right scan. *)
+
+(** Event consumer.  {!buffer_sink} and {!channel_sink} serialize
+    directly (the constant-space paths); {!document_sink} builds an
+    in-memory tree for validation and tests. *)
 type sink = {
   on_open : string -> unit;
   on_text : string -> unit;
   on_close : string -> unit;
 }
 
+val tag_cursors :
+  View_tree.t ->
+  (Sql_gen.stream * Relational.Cursor.t) list ->
+  sink ->
+  unit
+(** Merge-and-tag from cursors.  Each cursor must produce its stream's
+    query result in the stream's ORDER BY order; cursors are drained
+    exactly once.  Tuples are dropped as soon as they are processed. *)
+
 val tag :
   View_tree.t ->
   (Sql_gen.stream * Relational.Relation.t) list ->
   sink ->
   unit
-(** Merge-and-tag.  Each relation must be the result of its stream's
-    query (sorted by the stream's ORDER BY). *)
+(** Merge-and-tag from materialized relations: wraps each relation in a
+    cursor and runs {!tag_cursors}. *)
 
 val document_sink : unit -> sink * (unit -> Xmlkit.Xml.t)
 val buffer_sink : Buffer.t -> sink
 
+val channel_sink : out_channel -> sink
+(** Serializes events straight to [oc]; the document is never held in
+    memory. *)
+
 val to_document :
   View_tree.t -> (Sql_gen.stream * Relational.Relation.t) list -> Xmlkit.Xml.t
 
+val to_document_cursors :
+  View_tree.t -> (Sql_gen.stream * Relational.Cursor.t) list -> Xmlkit.Xml.t
+
 val to_string :
   View_tree.t -> (Sql_gen.stream * Relational.Relation.t) list -> string
+
+val to_string_cursors :
+  View_tree.t -> (Sql_gen.stream * Relational.Cursor.t) list -> string
+
+val to_channel :
+  View_tree.t ->
+  (Sql_gen.stream * Relational.Cursor.t) list ->
+  out_channel ->
+  unit
+(** Tag and serialize directly to a channel: the end-to-end streaming
+    sink. *)

@@ -135,6 +135,38 @@ let test_stats_metering () =
   Alcotest.(check bool) "sorted counted" true (st.Executor.sorted > 0);
   Alcotest.(check bool) "work positive" true (st.Executor.work > 0)
 
+let test_filter_charges_emit () =
+  (* Regression for the eval_from leftover-conjunct path: every filter
+     that drops rows must charge `Emit` per surviving row, the same as
+     apply_filters, so predicate placement cannot change work counts.
+     Single-table filter: emitted = survivors (filter) + output rows
+     (projection) — exactly 2 per surviving row, never less. *)
+  let db = mkdb () in
+  let _, st =
+    Executor.run_with_stats db
+      (Sql_parser.parse "SELECT r.a AS a FROM R AS r WHERE (r.a >= 2)")
+  in
+  Alcotest.(check int) "scanned all" 3 st.Executor.scanned;
+  Alcotest.(check int) "filter + projection each charge survivors" 4
+    st.Executor.emitted;
+  (* a filterless equivalent charges only the projection *)
+  let _, st_all =
+    Executor.run_with_stats db (Sql_parser.parse "SELECT r.a AS a FROM R AS r")
+  in
+  Alcotest.(check int) "no filter: projection only" 3 st_all.Executor.emitted
+
+let test_unresolvable_conjunct_raises () =
+  (* conjuncts that never become applicable are a resolution error, not a
+     silent (and formerly uncharged) filter *)
+  let db = mkdb () in
+  Alcotest.(check bool) "raises Unresolved_column" true
+    (try
+       ignore
+         (Executor.run db
+            (Sql_parser.parse "SELECT r.a AS a FROM R AS r WHERE (z.q = 1)"));
+       false
+     with Expr.Unresolved_column _ -> true)
+
 let test_spill_accounting () =
   (* a tiny sort buffer forces spill passes on any non-trivial sort *)
   let db = mkdb () in
@@ -225,6 +257,8 @@ let suite =
     Alcotest.test_case "ambiguous column" `Quick test_ambiguous_column;
     Alcotest.test_case "budget timeout" `Quick test_budget_timeout;
     Alcotest.test_case "work metering" `Quick test_stats_metering;
+    Alcotest.test_case "filters charge emit" `Quick test_filter_charges_emit;
+    Alcotest.test_case "unresolvable conjunct" `Quick test_unresolvable_conjunct_raises;
     Alcotest.test_case "spill accounting" `Quick test_spill_accounting;
     Alcotest.test_case "cross product" `Quick test_cross_product_without_condition;
     Alcotest.test_case "three-table join chain" `Quick test_join_chain_three_tables;

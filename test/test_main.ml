@@ -37,6 +37,7 @@ let () =
       ("planner", Test_planner.suite);
       ("query3", Test_query3.suite);
       ("middleware", Test_middleware.suite);
+      ("streaming", Test_streaming.suite);
       ("obs", Test_obs.suite);
       qcheck "random-views:props" Test_random_views.props;
     ]

@@ -13,6 +13,9 @@ dune build @all
 echo "== dune runtest"
 dune runtest
 
+echo "== memory smoke (streaming path stays bounded)"
+dune exec tools/mem_smoke.exe
+
 if command -v ocamlformat > /dev/null 2>&1; then
   echo "== dune build @fmt"
   dune build @fmt
