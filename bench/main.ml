@@ -19,6 +19,7 @@ let experiments =
     ("requests", Experiments.requests);
     ("ablation", Experiments.ablation);
     ("extra", Experiments.extra);
+    ("resilience", Experiments.resilience);
     ("micro", Micro.run);
   ]
 

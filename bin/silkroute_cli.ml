@@ -89,6 +89,42 @@ let stream_arg =
   in
   Arg.(value & flag & info [ "stream" ] ~doc)
 
+let budget_arg =
+  let doc =
+    "Work-unit budget per sub-query (0 = unlimited), modeling the paper's \
+     5-minute per-query timeout.  A stream that exhausts it fails with a \
+     timeout — or, under $(b,--resilient), degrades to finer sub-queries."
+  in
+  Arg.(value & opt int 0 & info [ "budget" ] ~docv:"N" ~doc)
+
+let resilient_arg =
+  let doc =
+    "Run every sub-query through the resilient backend: transient failures \
+     are retried with exponential backoff, persistent failures degrade the \
+     offending stream by splitting its fragment along view-tree edges.  The \
+     XML output is byte-identical to a fault-free run.  Implies streaming \
+     output."
+  in
+  Arg.(value & flag & info [ "resilient" ] ~doc)
+
+let fault_rate_arg =
+  let doc =
+    "Probability that a physical sub-query attempt is faulted (requires \
+     $(b,--resilient)); draws are deterministic for a fixed $(b,--fault-seed)."
+  in
+  Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"P" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed for the fault-injection and backoff-jitter stream." in
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let retries_arg =
+  let doc = "Maximum retries per sub-query after the first attempt." in
+  Arg.(
+    value
+    & opt int R.Backend.default_retry.R.Backend.max_retries
+    & info [ "retries" ] ~docv:"N" ~doc)
+
 let verbose_arg =
   let doc = "Log middleware activity (plans, streams) to stderr." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
@@ -156,7 +192,7 @@ let setup query view_file scale seed schema data =
               (fun table ->
                 let path = Filename.concat dir (table ^ ".csv") in
                 if Sys.file_exists path then begin
-                  let n = R.Csv.load db table (read_file path) in
+                  let n = R.Csv.load ~source:path db table (read_file path) in
                   Printf.eprintf "[loaded %d rows into %s]\n" n table
                 end)
               (R.Database.table_names db);
@@ -170,16 +206,48 @@ let setup query view_file scale seed schema data =
   (db, S.Middleware.prepare_text db text)
 
 let run_cmd query view_file scale seed schema data strategy no_reduce pretty
-    stream verbose trace trace_json metrics =
+    stream budget resilient fault_rate fault_seed retries verbose trace
+    trace_json metrics =
   setup_logs verbose;
   setup_obs ~trace ~trace_json ~metrics;
-  if stream && pretty then
-    invalid_arg "--pretty requires the materialized path; drop --stream";
+  if (stream || resilient) && pretty then
+    invalid_arg "--pretty requires the materialized path; drop --stream/--resilient";
+  if fault_rate > 0.0 && not resilient then
+    invalid_arg "--fault-rate requires --resilient";
   let db, p = setup query view_file scale seed schema data in
   ignore db;
   let plan = S.Middleware.partition_of p (parse_strategy strategy) in
-  if stream then begin
-    let se = S.Middleware.execute_streaming ~reduce:(not no_reduce) p plan in
+  if resilient then begin
+    let backend =
+      R.Backend.create
+        ~faults:(R.Backend.faults ~seed:fault_seed fault_rate)
+        ~retry:{ R.Backend.default_retry with R.Backend.max_retries = retries }
+        ~budget p.S.Middleware.db
+    in
+    let r =
+      S.Middleware.execute_resilient ~reduce:(not no_reduce) ~backend p plan
+    in
+    let se = r.S.Middleware.r_streaming in
+    S.Middleware.stream_to_channel p se stdout;
+    print_newline ();
+    let res = r.S.Middleware.r_resilience in
+    Printf.eprintf
+      "[%d stream(s), %d tuples, %d work units, %.1f ms transfer, resilient]\n"
+      (List.length se.S.Middleware.cursors)
+      se.S.Middleware.s_tuples se.S.Middleware.s_work
+      se.S.Middleware.s_transfer_ms;
+    Printf.eprintf
+      "[resilience: %d submits, %d attempts, %d retries, %d faults, %d \
+       timeouts, %d degraded, %.1f ms backoff, %d wasted work]\n"
+      res.S.Middleware.r_submits res.S.Middleware.r_attempts
+      res.S.Middleware.r_retries res.S.Middleware.r_faults
+      res.S.Middleware.r_timeouts res.S.Middleware.r_degraded
+      res.S.Middleware.r_backoff_ms res.S.Middleware.r_wasted_work
+  end
+  else if stream then begin
+    let se =
+      S.Middleware.execute_streaming ~reduce:(not no_reduce) ~budget p plan
+    in
     S.Middleware.stream_to_channel p se stdout;
     print_newline ();
     Printf.eprintf
@@ -189,7 +257,7 @@ let run_cmd query view_file scale seed schema data strategy no_reduce pretty
       se.S.Middleware.s_transfer_ms
   end
   else begin
-    let e = S.Middleware.execute ~reduce:(not no_reduce) p plan in
+    let e = S.Middleware.execute ~reduce:(not no_reduce) ~budget p plan in
     if pretty then
       print_string
         (Xmlkit.Serialize.to_pretty_string (S.Middleware.document_of p e))
@@ -239,7 +307,8 @@ let run_t =
   Term.(
     const run_cmd $ query_arg $ view_arg $ scale_arg $ seed_arg $ schema_arg
     $ data_arg $ strategy_arg $ no_reduce_arg $ pretty_arg $ stream_arg
-    $ verbose_arg $ trace_arg $ trace_json_arg $ metrics_arg)
+    $ budget_arg $ resilient_arg $ fault_rate_arg $ fault_seed_arg
+    $ retries_arg $ verbose_arg $ trace_arg $ trace_json_arg $ metrics_arg)
 
 let explain_t =
   Term.(

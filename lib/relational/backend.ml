@@ -1,0 +1,398 @@
+(* The simulated remote-RDBMS connection.
+
+   The engine itself is in-process and infallible; everything the paper's
+   middleware had to survive — rejected submissions, connections dropped
+   mid-result-set, sub-queries killed by the 5-minute timeout — is
+   modeled here, between the middleware and Executor.  Faults are drawn
+   from a splitmix64 stream seeded by the config, so a run is
+   reproducible to the bit; backoff and breaker cooldowns sleep on a
+   virtual clock by default, so resilience experiments cost no real
+   time. *)
+
+type fault_config = {
+  fault_rate : float;
+  fault_seed : int;
+  fatal_weight : float;
+  midstream_weight : float;
+  row_latency_ms : float;
+}
+
+let no_faults =
+  {
+    fault_rate = 0.0;
+    fault_seed = 0;
+    fatal_weight = 0.0;
+    midstream_weight = 0.3;
+    row_latency_ms = 0.0;
+  }
+
+let faults ?(seed = 0) ?(fatal_weight = 0.0) ?(midstream_weight = 0.3)
+    ?(row_latency_ms = 0.0) fault_rate =
+  if fault_rate < 0.0 || fault_rate > 1.0 then
+    invalid_arg "Backend.faults: fault rate must be in [0, 1]";
+  { fault_rate; fault_seed = seed; fatal_weight; midstream_weight; row_latency_ms }
+
+type retry_policy = {
+  max_retries : int;
+  base_backoff_ms : float;
+  backoff_factor : float;
+  max_backoff_ms : float;
+  jitter : float;
+}
+
+let default_retry =
+  {
+    max_retries = 3;
+    base_backoff_ms = 10.0;
+    backoff_factor = 2.0;
+    max_backoff_ms = 5000.0;
+    jitter = 0.25;
+  }
+
+type breaker_config = { failure_threshold : int; cooldown_ms : float }
+
+let default_breaker = { failure_threshold = 8; cooldown_ms = 1000.0 }
+
+type clock = { now_ms : unit -> float; sleep_ms : float -> unit }
+
+let virtual_clock () =
+  let now = ref 0.0 in
+  { now_ms = (fun () -> !now); sleep_ms = (fun ms -> now := !now +. ms) }
+
+type error_kind = Transient | Fatal | Timeout
+
+let kind_name = function
+  | Transient -> "transient"
+  | Fatal -> "fatal"
+  | Timeout -> "timeout"
+
+exception
+  Backend_error of {
+    kind : error_kind;
+    attempt : int;
+    rows_delivered : int;
+    message : string;
+  }
+
+exception Circuit_open of { retry_at_ms : float }
+
+let () =
+  Printexc.register_printer (function
+    | Backend_error { kind; attempt; rows_delivered; message } ->
+        Some
+          (Printf.sprintf
+             "Backend_error(%s, attempt %d, %d rows delivered: %s)"
+             (kind_name kind) attempt rows_delivered message)
+    | Circuit_open { retry_at_ms } ->
+        Some (Printf.sprintf "Circuit_open(retry at %.1fms)" retry_at_ms)
+    | _ -> None)
+
+type stats = {
+  mutable submits : int;
+  mutable attempts : int;
+  mutable retries : int;
+  mutable faults_transient : int;
+  mutable faults_midstream : int;
+  mutable faults_fatal : int;
+  mutable timeouts : int;
+  mutable backoff_ms : float;
+  mutable injected_latency_ms : float;
+  mutable wasted_work : int;
+  mutable breaker_opens : int;
+  mutable breaker_rejections : int;
+}
+
+let new_stats () =
+  {
+    submits = 0;
+    attempts = 0;
+    retries = 0;
+    faults_transient = 0;
+    faults_midstream = 0;
+    faults_fatal = 0;
+    timeouts = 0;
+    backoff_ms = 0.0;
+    injected_latency_ms = 0.0;
+    wasted_work = 0;
+    breaker_opens = 0;
+    breaker_rejections = 0;
+  }
+
+let total_faults s = s.faults_transient + s.faults_midstream + s.faults_fatal
+
+(* --- deterministic PRNG (splitmix64) ------------------------------------ *)
+
+type prng = { mutable state : int64 }
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 p =
+  p.state <- Int64.add p.state 0x9e3779b97f4a7c15L;
+  mix64 p.state
+
+(* uniform in [0, 1), 53 significant bits *)
+let next_float p =
+  Int64.to_float (Int64.shift_right_logical (next_int64 p) 11)
+  /. 9007199254740992.0
+
+(* --- breaker ------------------------------------------------------------ *)
+
+type breaker_state = Closed of int (* consecutive failures *) | Open of float (* half-opens at *) | Half_open
+
+type t = {
+  database : Database.t;
+  fault_cfg : fault_config;
+  retry : retry_policy;
+  breaker : breaker_config;
+  clk : clock;
+  budget : int;
+  profile : Executor.profile;
+  prng : prng;
+  st : stats;
+  mutable breaker_state : breaker_state;
+}
+
+let create ?(faults = no_faults) ?(retry = default_retry)
+    ?(breaker = default_breaker) ?clock ?(budget = 0)
+    ?(profile = Executor.default_profile) database =
+  let clk = match clock with Some c -> c | None -> virtual_clock () in
+  {
+    database;
+    fault_cfg = faults;
+    retry;
+    breaker;
+    clk;
+    budget;
+    profile;
+    prng = { state = Int64.of_int faults.fault_seed };
+    st = new_stats ();
+    breaker_state = Closed 0;
+  }
+
+let db t = t.database
+let clock t = t.clk
+let stats t = { t.st with submits = t.st.submits }
+
+let note_failure t =
+  let failures =
+    match t.breaker_state with
+    | Closed n -> n + 1
+    | Half_open -> t.breaker.failure_threshold (* re-open immediately *)
+    | Open _ -> t.breaker.failure_threshold
+  in
+  if failures >= t.breaker.failure_threshold then begin
+    (match t.breaker_state with
+    | Open _ -> ()
+    | Closed _ | Half_open ->
+        t.st.breaker_opens <- t.st.breaker_opens + 1;
+        Obs.Metrics.incr "backend.breaker_opens");
+    t.breaker_state <- Open (t.clk.now_ms () +. t.breaker.cooldown_ms)
+  end
+  else t.breaker_state <- Closed failures
+
+let note_success t = t.breaker_state <- Closed 0
+
+let check_breaker t =
+  match t.breaker_state with
+  | Closed _ | Half_open -> ()
+  | Open until ->
+      if t.clk.now_ms () >= until then t.breaker_state <- Half_open
+      else begin
+        t.st.breaker_rejections <- t.st.breaker_rejections + 1;
+        raise (Circuit_open { retry_at_ms = until })
+      end
+
+(* --- fault injection ---------------------------------------------------- *)
+
+let record_fault () = Obs.Metrics.incr "backend.faults"
+
+(* Wrap the engine's cursor with the per-row fault surface: injected
+   latency per delivered row, and (when scheduled) a connection drop
+   after [trip_after] rows.  A drop scheduled beyond the end of the
+   stream never fires — the result finished before the (virtual) reset
+   arrived. *)
+let wrap_cursor t ~attempt ~trip_after cur =
+  let delivered = ref 0 in
+  let pull () =
+    match Cursor.next cur with
+    | None ->
+        note_success t;
+        None
+    | Some row ->
+        (match trip_after with
+        | Some n when !delivered >= n ->
+            t.st.faults_midstream <- t.st.faults_midstream + 1;
+            record_fault ();
+            note_failure t;
+            raise
+              (Backend_error
+                 {
+                   kind = Transient;
+                   attempt;
+                   rows_delivered = !delivered;
+                   message =
+                     Printf.sprintf
+                       "injected connection drop after %d rows" !delivered;
+                 })
+        | _ -> ());
+        incr delivered;
+        if t.fault_cfg.row_latency_ms > 0.0 then begin
+          t.clk.sleep_ms t.fault_cfg.row_latency_ms;
+          t.st.injected_latency_ms <-
+            t.st.injected_latency_ms +. t.fault_cfg.row_latency_ms
+        end;
+        Some row
+  in
+  Cursor.create (Cursor.cols cur) pull
+
+(* One physical attempt: breaker gate, fault draw, engine run. *)
+let submit_attempt t ~attempt (q : Sql.query) : Cursor.t * Executor.stats =
+  check_breaker t;
+  t.st.attempts <- t.st.attempts + 1;
+  (* Fault draws are consumed in a fixed order so the stream replays
+     identically for a fixed seed and submission sequence. *)
+  let trip_after =
+    if t.fault_cfg.fault_rate > 0.0 && next_float t.prng < t.fault_cfg.fault_rate
+    then
+      if next_float t.prng < t.fault_cfg.fatal_weight then begin
+        t.st.faults_fatal <- t.st.faults_fatal + 1;
+        record_fault ();
+        note_failure t;
+        raise
+          (Backend_error
+             {
+               kind = Fatal;
+               attempt;
+               rows_delivered = 0;
+               message = "injected fatal backend failure at submit";
+             })
+      end
+      else if next_float t.prng < t.fault_cfg.midstream_weight then
+        (* the connection will drop after 1..32 delivered rows *)
+        Some (1 + Int64.to_int (Int64.logand (next_int64 t.prng) 31L))
+      else begin
+        t.st.faults_transient <- t.st.faults_transient + 1;
+        record_fault ();
+        note_failure t;
+        raise
+          (Backend_error
+             {
+               kind = Transient;
+               attempt;
+               rows_delivered = 0;
+               message = "injected transient submit failure";
+             })
+      end
+    else None
+  in
+  match
+    Executor.run_cursor_with_stats ~budget:t.budget ~profile:t.profile
+      t.database q
+  with
+  | cur, est -> (wrap_cursor t ~attempt ~trip_after cur, est)
+  | exception Executor.Timeout ->
+      t.st.timeouts <- t.st.timeouts + 1;
+      (* the engine gave up right at the budget: that much work is sunk *)
+      t.st.wasted_work <- t.st.wasted_work + t.budget;
+      Obs.Metrics.incr "backend.timeouts";
+      note_failure t;
+      raise
+        (Backend_error
+           {
+             kind = Timeout;
+             attempt;
+             rows_delivered = 0;
+             message =
+               Printf.sprintf "work budget (%d units) exhausted" t.budget;
+           })
+
+let submit_with_stats t q = submit_attempt t ~attempt:1 q
+let submit t q = fst (submit_with_stats t q)
+
+(* --- resilient submission ----------------------------------------------- *)
+
+let backoff_ms t ~attempt =
+  let base =
+    t.retry.base_backoff_ms
+    *. (t.retry.backoff_factor ** float_of_int (attempt - 1))
+  in
+  let capped = Float.min t.retry.max_backoff_ms base in
+  (* uniform jitter: capped * (1 ± jitter) *)
+  let u = next_float t.prng in
+  capped *. (1.0 -. t.retry.jitter +. (2.0 *. t.retry.jitter *. u))
+
+let execute ?(label = "") ?(on_attempt = fun (_ : int) -> ())
+    ?(on_row = fun (_ : Tuple.t) -> ()) t (q : Sql.query) :
+    Cursor.t * Executor.stats =
+  t.st.submits <- t.st.submits + 1;
+  let rec attempt k =
+    on_attempt k;
+    let result =
+      Obs.Span.with_span "backend.submit" (fun () ->
+          if Obs.Span.tracing () then
+            Obs.Span.add_list
+              [ Obs.Attr.string "label" label; Obs.Attr.int "attempt" k ];
+          match submit_attempt t ~attempt:k q with
+          | cur, est -> (
+              (* Drain now, inside the retry scope: a mid-stream drop
+                 surfaces here, discards the partial spool, and is
+                 retried like any other transient failure. *)
+              try
+                let spooled = Cursor.spool ~on_row cur in
+                if Obs.Span.tracing () then
+                  Obs.Span.add "outcome" (Obs.Attr.String "ok");
+                Ok (spooled, est)
+              with Backend_error { kind; _ } as exn ->
+                (* the engine did run to completion; its work is sunk *)
+                t.st.wasted_work <- t.st.wasted_work + est.Executor.work;
+                if Obs.Span.tracing () then
+                  Obs.Span.add "outcome" (Obs.Attr.String (kind_name kind));
+                Error exn)
+          | exception (Backend_error { kind; _ } as exn) ->
+              if Obs.Span.tracing () then
+                Obs.Span.add "outcome" (Obs.Attr.String (kind_name kind));
+              Error exn
+          | exception (Circuit_open _ as exn) ->
+              if Obs.Span.tracing () then
+                Obs.Span.add "outcome" (Obs.Attr.String "circuit-open");
+              Error exn)
+    in
+    match result with
+    | Ok r -> r
+    | Error (Backend_error { kind = Transient; _ } as exn) ->
+        if k > t.retry.max_retries then raise exn
+        else begin
+          let wait = backoff_ms t ~attempt:k in
+          Obs.Span.with_span "backend.retry" (fun () ->
+              if Obs.Span.tracing () then
+                Obs.Span.add_list
+                  [
+                    Obs.Attr.string "label" label;
+                    Obs.Attr.int "attempt" k;
+                    Obs.Attr.float "backoff_ms" wait;
+                  ];
+              t.clk.sleep_ms wait);
+          t.st.retries <- t.st.retries + 1;
+          t.st.backoff_ms <- t.st.backoff_ms +. wait;
+          Obs.Metrics.incr "backend.retries";
+          attempt (k + 1)
+        end
+    | Error (Circuit_open { retry_at_ms }) ->
+        (* Wait out the breaker on the clock; this consumes no retry
+           budget — the attempt never reached the backend. *)
+        let wait = Float.max 0.1 (retry_at_ms -. t.clk.now_ms ()) in
+        t.clk.sleep_ms wait;
+        t.st.backoff_ms <- t.st.backoff_ms +. wait;
+        attempt k
+    | Error exn -> raise exn (* Fatal / Timeout: retrying cannot help *)
+  in
+  attempt 1

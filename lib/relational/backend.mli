@@ -1,0 +1,168 @@
+(** Connection abstraction over the (simulated) remote RDBMS.
+
+    The paper treats the backend as a black box reached over JDBC: it can
+    reject a submission, drop a connection mid-result, or run a sub-query
+    into the 5-minute experiment timeout.  This module models that
+    failure surface on top of {!Executor} with a deterministic, seeded
+    fault injector, and wraps every submission in a retry policy
+    (bounded retries, exponential backoff with jitter on an injectable
+    clock, transient-vs-fatal classification) guarded by a per-backend
+    circuit breaker.
+
+    Determinism: all injected faults and jitter draws come from one
+    splitmix64 stream seeded by {!fault_config.fault_seed}; the same
+    seed and the same submission sequence reproduce the same faults,
+    retries and backoff to the bit.  Time (backoff sleeps, injected
+    per-row latency, breaker cooldowns) advances a virtual clock by
+    default, so resilience runs cost no wall-clock sleeping. *)
+
+(** What to inject, and how often.  Probabilities are per physical
+    attempt; every draw comes from the seeded stream. *)
+type fault_config = {
+  fault_rate : float;  (** probability that an attempt is faulted *)
+  fault_seed : int;  (** PRNG seed for fault and jitter draws *)
+  fatal_weight : float;
+      (** P(fault is fatal | fault) — fatal faults are never retried *)
+  midstream_weight : float;
+      (** P(fault strikes mid-stream | transient fault): the connection
+          drops after N delivered rows instead of at submit time *)
+  row_latency_ms : float;
+      (** injected (virtual) latency per delivered row, modeling the
+          per-tuple JDBC binding cost of a slow link *)
+}
+
+val no_faults : fault_config
+
+val faults :
+  ?seed:int ->
+  ?fatal_weight:float ->
+  ?midstream_weight:float ->
+  ?row_latency_ms:float ->
+  float ->
+  fault_config
+(** [faults rate] builds a config with the given fault rate; defaults:
+    seed 0, fatal weight 0, mid-stream weight 0.3, no row latency. *)
+
+(** Bounded retries with exponential backoff.  [jitter] is the uniform
+    relative spread applied to each computed backoff (0.25 means
+    ±25%). *)
+type retry_policy = {
+  max_retries : int;  (** retries after the first attempt *)
+  base_backoff_ms : float;
+  backoff_factor : float;
+  max_backoff_ms : float;
+  jitter : float;
+}
+
+val default_retry : retry_policy
+(** 3 retries, 10ms base, ×2 per retry, 5s cap, ±25% jitter. *)
+
+(** Per-backend circuit breaker: after [failure_threshold] consecutive
+    failed attempts the breaker opens and submissions fail fast with
+    {!Circuit_open} until [cooldown_ms] of clock time has passed; the
+    next attempt then half-opens the breaker (success closes it, failure
+    re-opens it). *)
+type breaker_config = { failure_threshold : int; cooldown_ms : float }
+
+val default_breaker : breaker_config
+(** 8 consecutive failures, 1s cooldown. *)
+
+(** The clock backoff sleeps on.  The default is virtual: [sleep_ms]
+    just advances [now_ms], so deterministic experiments pay no real
+    time.  Callers may inject a real clock. *)
+type clock = { now_ms : unit -> float; sleep_ms : float -> unit }
+
+val virtual_clock : unit -> clock
+
+(** How an attempt failed.  [Transient] failures (injected submit
+    failures and mid-stream connection drops) are retryable; [Fatal]
+    faults and work-budget [Timeout]s are not — retrying a deterministic
+    timeout cannot help, only a finer plan can. *)
+type error_kind = Transient | Fatal | Timeout
+
+val kind_name : error_kind -> string
+
+exception
+  Backend_error of {
+    kind : error_kind;
+    attempt : int;  (** 1-based physical attempt that failed *)
+    rows_delivered : int;  (** rows delivered before a mid-stream drop *)
+    message : string;
+  }
+
+exception Circuit_open of { retry_at_ms : float }
+(** Raised by a single-attempt {!submit} while the breaker is open;
+    [retry_at_ms] is the clock time at which it half-opens. *)
+
+(** Cumulative counters; all deterministic for a fixed seed.
+    [wasted_work] is the engine work burned by failed attempts
+    (timeouts are accounted at the budget, the work level at which the
+    engine gave up). *)
+type stats = {
+  mutable submits : int;  (** logical submissions ({!execute} calls) *)
+  mutable attempts : int;  (** physical attempts, including retries *)
+  mutable retries : int;
+  mutable faults_transient : int;  (** injected submit-time failures *)
+  mutable faults_midstream : int;  (** injected mid-stream drops that fired *)
+  mutable faults_fatal : int;
+  mutable timeouts : int;  (** work-budget exhaustions *)
+  mutable backoff_ms : float;  (** total (virtual) backoff slept *)
+  mutable injected_latency_ms : float;
+  mutable wasted_work : int;
+  mutable breaker_opens : int;
+  mutable breaker_rejections : int;
+}
+
+val total_faults : stats -> int
+(** transient + mid-stream + fatal. *)
+
+type t
+
+val create :
+  ?faults:fault_config ->
+  ?retry:retry_policy ->
+  ?breaker:breaker_config ->
+  ?clock:clock ->
+  ?budget:int ->
+  ?profile:Executor.profile ->
+  Database.t ->
+  t
+(** A connection to [db].  [budget] (work units per submission, 0 =
+    unlimited) and [profile] are applied to every submitted query,
+    modeling the server-side per-query timeout. *)
+
+val db : t -> Database.t
+val clock : t -> clock
+
+val stats : t -> stats
+(** A snapshot copy (callers may diff two snapshots). *)
+
+val submit : t -> Sql.query -> Cursor.t
+(** One physical attempt, no retry: submits [q] to the engine and
+    returns a cursor over its sorted output.  Raises {!Backend_error}
+    on an injected submit fault or a budget timeout, {!Circuit_open}
+    when the breaker is open; the returned cursor itself may raise
+    {!Backend_error} mid-stream (an injected connection drop). *)
+
+val submit_with_stats : t -> Sql.query -> Cursor.t * Executor.stats
+
+val execute :
+  ?label:string ->
+  ?on_attempt:(int -> unit) ->
+  ?on_row:(Tuple.t -> unit) ->
+  t ->
+  Sql.query ->
+  Cursor.t * Executor.stats
+(** Resilient submission: retries transient failures (submit faults and
+    mid-stream drops) with exponential backoff up to the retry budget,
+    waits out an open breaker on the clock, and spools the winning
+    attempt's rows ({!Cursor.spool}) so the returned cursor is complete
+    and failure-free.  [on_attempt] fires at the start of every physical
+    attempt (the hook for resetting per-attempt accounting);
+    [on_row] fires once per row of each attempt as it is spooled —
+    rows of a failed attempt are discarded, so after a retry the hook
+    starts over.  Raises {!Backend_error} when retries are exhausted or
+    the failure is not retryable ([Fatal], [Timeout]).  Emits
+    [backend.submit] / [backend.retry] spans and [backend.faults] /
+    [backend.retries] / [backend.timeouts] / [backend.breaker_opens]
+    metrics. *)

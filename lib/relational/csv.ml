@@ -7,7 +7,22 @@
 
 exception Csv_error of string * int (* message, 1-based row *)
 
-let fail row fmt = Format.kasprintf (fun m -> raise (Csv_error (m, row))) fmt
+(* [source] (a file name, usually) prefixes every diagnostic so a load
+   failure in a multi-file import names the offending file. *)
+let fail ?source row fmt =
+  Format.kasprintf
+    (fun m ->
+      let m =
+        match source with None -> m | Some s -> Printf.sprintf "%s: %s" s m
+      in
+      raise (Csv_error (m, row)))
+    fmt
+
+let () =
+  Printexc.register_printer (function
+    | Csv_error (msg, row) ->
+        Some (Printf.sprintf "Csv.Csv_error (row %d: %s)" row msg)
+    | _ -> None)
 
 (* --- low-level record reader -------------------------------------------- *)
 
@@ -67,10 +82,12 @@ let parse_rows text = List.map (List.map fst) (parse_rows_tagged text)
 
 (* --- typed loading ------------------------------------------------------- *)
 
-let value_of_field row (col : Schema.column) (text, quoted) : Value.t =
+let value_of_field ?source row (col : Schema.column) (text, quoted) : Value.t =
   if text = "" && not quoted then
     if col.Schema.nullable then Value.Null
-    else fail row "empty value in NOT NULL column %s" col.Schema.col_name
+    else
+      fail ?source row "row %d: empty value in NOT NULL column %s" row
+        col.Schema.col_name
   else
     try
       match col.Schema.col_ty with
@@ -80,18 +97,19 @@ let value_of_field row (col : Schema.column) (text, quoted) : Value.t =
           match String.lowercase_ascii (String.trim text) with
           | "true" | "t" | "1" -> Value.Bool true
           | "false" | "f" | "0" -> Value.Bool false
-          | s -> fail row "bad bool %S in column %s" s col.Schema.col_name)
+          | _ -> failwith "bool")
       | Value.TDate -> Value.Date (int_of_string (String.trim text))
       | Value.TString -> Value.String text
     with Failure _ ->
-      fail row "bad %s value %S in column %s"
+      fail ?source row "row %d, column %s: bad %s value %S" row
+        col.Schema.col_name
         (Value.ty_name col.Schema.col_ty)
-        text col.Schema.col_name
+        text
 
 (* Load CSV [text] into [table].  With [header] (default), the first row
    names the columns and may reorder or omit nullable ones. *)
-let load ?(header = true) (db : Database.t) (table : string) (text : string) :
-    int =
+let load ?source ?(header = true) (db : Database.t) (table : string)
+    (text : string) : int =
   let schema = Database.schema db table in
   let rows = parse_rows_tagged text in
   let col_order, data_rows =
@@ -107,7 +125,9 @@ let load ?(header = true) (db : Database.t) (table : string) (text : string) :
                   schema.Schema.columns
               with
               | Some c -> c
-              | None -> fail 1 "%s has no column %s" table name)
+              | None ->
+                  fail ?source 1 "header row: table %s has no column %s" table
+                    name)
             names
         in
         (cols, rest)
@@ -119,8 +139,8 @@ let load ?(header = true) (db : Database.t) (table : string) (text : string) :
       (fun idx fields ->
         let row = idx + if header then 2 else 1 in
         if List.length fields <> List.length col_order then
-          fail row "expected %d fields, got %d" (List.length col_order)
-            (List.length fields);
+          fail ?source row "row %d: expected %d fields, got %d" row
+            (List.length col_order) (List.length fields);
         let by_name =
           List.map2 (fun (c : Schema.column) f -> (c, f)) col_order fields
         in
@@ -130,10 +150,12 @@ let load ?(header = true) (db : Database.t) (table : string) (text : string) :
                match
                  List.find_opt (fun (c', _) -> c' == c) by_name
                with
-               | Some (_, f) -> value_of_field row c f
+               | Some (_, f) -> value_of_field ?source row c f
                | None ->
                    if c.Schema.nullable then Value.Null
-                   else fail row "missing NOT NULL column %s" c.Schema.col_name)
+                   else
+                     fail ?source row "row %d: missing NOT NULL column %s" row
+                       c.Schema.col_name)
              schema.Schema.columns))
       data_rows
   in

@@ -6,15 +6,18 @@
     as NULL (a quoted [""] is the empty string). *)
 
 exception Csv_error of string * int
-(** Message and 1-based row number. *)
+(** Message and 1-based row number.  The message carries full
+    diagnostics — source file (when given), row, column and offending
+    value — so it can be surfaced verbatim. *)
 
 val parse_rows : string -> string list list
 (** Raw records, quoting resolved. *)
 
-val load : ?header:bool -> Database.t -> string -> string -> int
+val load : ?source:string -> ?header:bool -> Database.t -> string -> string -> int
 (** [load db table text] inserts the records of [text] into [table] and
     returns the row count.  With [header] (default), the first record
-    names the columns and may reorder or omit nullable ones.  Raises
+    names the columns and may reorder or omit nullable ones.  [source]
+    (usually the file name) prefixes every diagnostic.  Raises
     {!Csv_error} on malformed input, {!Database.Constraint_violation} on
     type/NULL violations. *)
 

@@ -370,6 +370,217 @@ let execute_streaming ?(style = Sql_gen.Outer_join) ?(reduce = false)
     s_bytes = bytes;
   })
 
+(* --- resilient execution ----------------------------------------------- *)
+
+(* What resilience cost: counters diffed over the backend's stats across
+   one execution, plus the number of streams that had to be degraded. *)
+type resilience = {
+  r_submits : int;
+  r_attempts : int;
+  r_retries : int;
+  r_faults : int;
+  r_timeouts : int;
+  r_degraded : int;
+  r_backoff_ms : float;
+  r_wasted_work : int;
+}
+
+type resilient = { r_streaming : streaming; r_resilience : resilience }
+
+let execute_resilient ?(style = Sql_gen.Outer_join) ?(reduce = false)
+    ?budget ?profile ?(transfer = R.Transfer.default) ?(sql_syntax = `Derived)
+    ?backend ?(max_splits = 8) (p : prepared) (plan : Partition.t) : resilient =
+ Obs.Span.with_span "middleware.execute" (fun () ->
+  if Obs.Span.tracing () then Obs.Span.add "mode" (Obs.Attr.String "resilient");
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> R.Backend.create ?budget ?profile p.db
+  in
+  let stats0 = R.Backend.stats backend in
+  let opts = options_of p ~style ~reduce in
+  let streams = Sql_gen.streams p.db p.tree plan opts in
+  let print_sql =
+    match sql_syntax with
+    | `Derived -> R.Sql_print.to_string
+    | `With -> R.Sql_print.to_with_string
+  in
+  let degraded = ref 0 in
+  (* Run one stream through the backend's retry loop.  If its failure is
+     persistent — retries exhausted, a fatal fault, or a work-budget
+     timeout — split the offending fragment along its view-tree edges
+     (one step down the 2^|E| plan lattice, the paper's own fallback
+     space) and recurse on the finer sub-queries.  A single-node
+     fragment cannot degrade further: a timeout escapes as
+     [Plan_timeout] with the payload naming the fragment root, anything
+     else re-raises the backend error. *)
+  let rec run_stream ~depth i (s : Sql_gen.stream) : stream_cursor list =
+    Obs.Span.with_span "execute.stream" (fun () ->
+        let text = print_sql s.Sql_gen.query in
+        let root_name =
+          View_tree.skolem_name
+            (View_tree.node p.tree s.Sql_gen.fragment.Partition.root)
+              .View_tree.sfi
+        in
+        let ast = R.Sql_parser.parse text in
+        let rows = ref 0 and bytes = ref 0 in
+        let transfer_ms = ref transfer.R.Transfer.per_stream_overhead in
+        let t0 = now_ms () in
+        match
+          R.Backend.execute backend ~label:root_name
+            ~on_attempt:(fun _attempt ->
+              (* a fresh physical attempt re-delivers from row one: drop
+                 the partial accounting of the failed attempt *)
+              rows := 0;
+              bytes := 0;
+              transfer_ms := transfer.R.Transfer.per_stream_overhead)
+            ~on_row:(fun t ->
+              incr rows;
+              bytes := !bytes + R.Tuple.wire_size t;
+              transfer_ms := !transfer_ms +. R.Transfer.tuple_ms transfer t)
+            ast
+        with
+        | cur, stats ->
+            let wall_ms = now_ms () -. t0 in
+            Log.debug (fun m ->
+                m "stream (resilient): %d rows, %d work units, %.1f ms — %s"
+                  !rows stats.R.Executor.work wall_ms
+                  (if String.length text > 80 then String.sub text 0 80 ^ "…"
+                   else text));
+            if Obs.Span.tracing () then begin
+              Obs.Span.add_list
+                [
+                  Obs.Attr.int "index" i;
+                  Obs.Attr.string "root" root_name;
+                  Obs.Attr.int "rows" !rows;
+                  Obs.Attr.int "bytes" !bytes;
+                  Obs.Attr.int "work" stats.R.Executor.work;
+                  Obs.Attr.int "depth" depth;
+                ];
+              Obs.Metrics.incr "execute.streams";
+              Obs.Metrics.observe "execute.stream.work"
+                (float_of_int stats.R.Executor.work);
+              Obs.Metrics.observe "execute.stream.rows" (float_of_int !rows);
+              Obs.Metrics.observe "execute.stream.bytes" (float_of_int !bytes)
+            end;
+            [
+              {
+                sc_stream = s;
+                sc_cursor = cur;
+                sc_sql = text;
+                sc_stats = stats;
+                sc_wall_ms = wall_ms;
+                sc_rows = !rows;
+                sc_bytes = !bytes;
+                sc_transfer_ms = !transfer_ms;
+              };
+            ]
+        | exception (R.Backend.Backend_error { kind; _ } as exn) -> (
+            let elapsed = now_ms () -. t0 in
+            let info =
+              {
+                timeout_sql = text;
+                timeout_stream = i;
+                timeout_root = root_name;
+                timeout_elapsed_ms = elapsed;
+              }
+            in
+            let finer =
+              if depth < max_splits then
+                Partition.split s.Sql_gen.fragment
+              else None
+            in
+            match finer with
+            | Some frags ->
+                incr degraded;
+                Obs.Metrics.incr "middleware.degraded_streams";
+                if Obs.Span.tracing () then
+                  Obs.Span.add_list
+                    [
+                      Obs.Attr.bool "degraded" true;
+                      Obs.Attr.string "degraded.root" info.timeout_root;
+                      Obs.Attr.string "degraded.kind" (R.Backend.kind_name kind);
+                      Obs.Attr.int "degraded.fragments" (List.length frags);
+                    ];
+                Log.info (fun m ->
+                    m "degrading stream %d (root %s, %s): splitting into %d \
+                       finer sub-queries"
+                      i info.timeout_root
+                      (R.Backend.kind_name kind)
+                      (List.length frags));
+                List.concat_map
+                  (fun frag ->
+                    run_stream ~depth:(depth + 1) i
+                      (Sql_gen.stream_of_fragment p.db p.tree opts frag))
+                  frags
+            | None -> (
+                match kind with
+                | R.Backend.Timeout -> raise (Plan_timeout info)
+                | _ -> raise exn)))
+  in
+  let per_stream =
+    List.concat (List.mapi (fun i s -> run_stream ~depth:0 i s) streams)
+  in
+  (* Degradation replaces one stream by finer streams covering the same
+     nodes: the effective plan is still a point in the 2^|E| lattice, so
+     sorting by fragment root restores plan order and the merge/tagger
+     produces byte-identical XML. *)
+  let per_stream =
+    List.sort
+      (fun a b ->
+        compare a.sc_stream.Sql_gen.fragment.Partition.root
+          b.sc_stream.Sql_gen.fragment.Partition.root)
+      per_stream
+  in
+  let work =
+    List.fold_left
+      (fun acc sc -> acc + sc.sc_stats.R.Executor.work)
+      0 per_stream
+  in
+  let tuples = List.fold_left (fun acc sc -> acc + sc.sc_rows) 0 per_stream in
+  let bytes = List.fold_left (fun acc sc -> acc + sc.sc_bytes) 0 per_stream in
+  let stats1 = R.Backend.stats backend in
+  let resilience =
+    {
+      r_submits = stats1.R.Backend.submits - stats0.R.Backend.submits;
+      r_attempts = stats1.R.Backend.attempts - stats0.R.Backend.attempts;
+      r_retries = stats1.R.Backend.retries - stats0.R.Backend.retries;
+      r_faults =
+        R.Backend.total_faults stats1 - R.Backend.total_faults stats0;
+      r_timeouts = stats1.R.Backend.timeouts - stats0.R.Backend.timeouts;
+      r_degraded = !degraded;
+      r_backoff_ms = stats1.R.Backend.backoff_ms -. stats0.R.Backend.backoff_ms;
+      r_wasted_work = stats1.R.Backend.wasted_work - stats0.R.Backend.wasted_work;
+    }
+  in
+  if Obs.Span.tracing () then
+    Obs.Span.add_list
+      [
+        Obs.Attr.int "streams" (List.length per_stream);
+        Obs.Attr.int "tuples" tuples;
+        Obs.Attr.int "bytes" bytes;
+        Obs.Attr.int "work" work;
+        Obs.Attr.int "degraded" resilience.r_degraded;
+        Obs.Attr.int "retries" resilience.r_retries;
+        Obs.Attr.int "faults" resilience.r_faults;
+      ];
+  {
+    r_streaming =
+      {
+        cursors = List.map (fun sc -> (sc.sc_stream, sc.sc_cursor)) per_stream;
+        s_per_stream = per_stream;
+        s_sql_texts = List.map (fun sc -> sc.sc_sql) per_stream;
+        s_query_wall_ms =
+          List.fold_left (fun acc sc -> acc +. sc.sc_wall_ms) 0.0 per_stream;
+        s_transfer_ms =
+          List.fold_left (fun acc sc -> acc +. sc.sc_transfer_ms) 0.0 per_stream;
+        s_work = work;
+        s_tuples = tuples;
+        s_bytes = bytes;
+      };
+    r_resilience = resilience;
+  })
+
 let document_of_streaming p (se : streaming) : Xmlkit.Xml.t =
   Tagger.to_document_cursors p.tree se.cursors
 
@@ -413,7 +624,7 @@ let materialize_naive (p : prepared) : Xmlkit.Xml.t =
                   match c with
                   | Sql_gen.Level_col j ->
                       if j <= View_tree.level node then
-                        R.Value.Int (List.nth node.View_tree.sfi (j - 1))
+                        R.Value.Int (Sql_gen.sfi_component node.View_tree.sfi j)
                       else R.Value.Null
                   | Sql_gen.Var_col v -> (
                       match R.Relation.column_index inst v with

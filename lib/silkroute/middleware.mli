@@ -131,6 +131,52 @@ val execute_streaming :
     is bounded by the view-tree depth plus one tuple per stream,
     independent of the database size. *)
 
+(** What resilience cost during one {!execute_resilient} run: counters
+    diffed over the backend's {!Relational.Backend.stats}, plus the
+    number of streams that had to be degraded to finer fragments.  All
+    deterministic for a fixed fault seed. *)
+type resilience = {
+  r_submits : int;  (** logical sub-query submissions, incl. degraded re-runs *)
+  r_attempts : int;  (** physical attempts, including retries *)
+  r_retries : int;
+  r_faults : int;  (** injected faults that fired (any kind) *)
+  r_timeouts : int;  (** work-budget exhaustions *)
+  r_degraded : int;  (** streams split into finer fragments *)
+  r_backoff_ms : float;  (** total (virtual) backoff slept *)
+  r_wasted_work : int;  (** engine work burned by failed attempts *)
+}
+
+type resilient = { r_streaming : streaming; r_resilience : resilience }
+
+val execute_resilient :
+  ?style:Sql_gen.style ->
+  ?reduce:bool ->
+  ?budget:int ->
+  ?profile:Relational.Executor.profile ->
+  ?transfer:Relational.Transfer.config ->
+  ?sql_syntax:[ `Derived | `With ] ->
+  ?backend:Relational.Backend.t ->
+  ?max_splits:int ->
+  prepared ->
+  Partition.t ->
+  resilient
+(** Like {!execute_streaming}, but every sub-query goes through
+    [backend] (default: a fault-free backend over [p.db] with the given
+    [budget]/[profile]; both are ignored when [backend] is supplied):
+    transient failures are retried with backoff, and a persistent
+    failure — retries exhausted, a fatal fault, or a work-budget timeout
+    — degrades only the offending stream by splitting its fragment
+    along view-tree edges (at most [max_splits] nested splits per
+    original stream) and re-executing the finer sub-queries.  The
+    effective plan is still a point in the 2^|E| lattice, so the merged
+    XML is byte-identical to a fault-free run, and the per-stream
+    accounting covers exactly the winning attempts.  Raises
+    {!Plan_timeout} when a single-node fragment times out (nothing finer
+    exists), or the backend error when a single-node fragment fails
+    fatally.  Emits [middleware.degraded_streams] metrics and
+    [degraded.*] span attributes on top of the backend's own
+    spans/metrics. *)
+
 val document_of_streaming : prepared -> streaming -> Xmlkit.Xml.t
 val xml_string_of_streaming : prepared -> streaming -> string
 

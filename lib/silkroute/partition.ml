@@ -86,6 +86,39 @@ let fragments p : fragment list =
 
 let stream_count p = List.length (fragments p)
 
+(* One degradation step down the plan lattice: cut the fragment's first
+   internal edge (view-tree edge order, so the cut lands closest to the
+   fragment root), splitting it into two finer fragments whose streams
+   jointly cover the same view-tree nodes.  Node ids are assigned in BFS
+   order with parents before children, so each resulting component's
+   root is its minimum member id. *)
+let split (f : fragment) : fragment list option =
+  match f.internal_edges with
+  | [] -> None (* single node (or no kept edges): nothing finer exists *)
+  | _cut :: remaining ->
+      let comp = Hashtbl.create 8 in
+      List.iter (fun m -> Hashtbl.replace comp m m) f.members;
+      let rec find i =
+        let p = Hashtbl.find comp i in
+        if p = i then i else find p
+      in
+      List.iter
+        (fun (a, b) ->
+          let ra = find a and rb = find b in
+          if ra <> rb then Hashtbl.replace comp (max ra rb) (min ra rb))
+        remaining;
+      let roots = List.sort_uniq compare (List.map find f.members) in
+      Some
+        (List.map
+           (fun r ->
+             {
+               root = r;
+               members = List.filter (fun m -> find m = r) f.members;
+               internal_edges =
+                 List.filter (fun (a, _) -> find a = r) remaining;
+             })
+           roots)
+
 (* Human-readable plan id, e.g. "{S1-S1.1, S1.4-S1.4.2}". *)
 let to_string p =
   let name id = View_tree.skolem_name (View_tree.node p.tree id).View_tree.sfi in

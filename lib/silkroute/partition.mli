@@ -39,4 +39,12 @@ val fragments : t -> fragment list
     order). *)
 
 val stream_count : t -> int
+
+val split : fragment -> fragment list option
+(** One degradation step down the 2^|E| plan lattice: cut the fragment's
+    first internal edge, yielding two finer fragments (ordered by root
+    id) whose streams jointly cover the same view-tree nodes.  [None]
+    for single-node fragments — there is nothing finer to fall back
+    to. *)
+
 val to_string : t -> string

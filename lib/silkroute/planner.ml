@@ -143,7 +143,10 @@ let gen_plan ?(reduce = false) (db : R.Database.t) (oracle : R.Cost.oracle)
   {
     mandatory = List.rev !mandatory;
     optional = List.rev !optional;
-    requests;
+    (* per-run delta, not the oracle's cumulative counter: a reused
+       oracle must not inflate later reports (the paper's 22–25 requests
+       figure is per query) *)
+    requests = requests - requests0;
     cache_hits = !cache_hits;
   })
 

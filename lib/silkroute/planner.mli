@@ -15,7 +15,9 @@ val default_params : params
 type result = {
   mandatory : (int * int) list;
   optional : (int * int) list;
-  requests : int;  (** cost-estimate requests issued (paper Sec. 5.1) *)
+  requests : int;
+      (** cost-estimate requests issued by this run (paper Sec. 5.1) —
+          the per-run delta, even when the oracle is reused *)
   cache_hits : int;
       (** fragment-cost lookups served by the member-set cache — the
           requests the paper's Sec. 5.1 experiment would have counted

@@ -277,7 +277,17 @@ let check_var_flow db tree groups =
 let lit_int n = R.Expr.Lit (R.Value.Int n)
 let lit_null = R.Expr.Lit R.Value.Null
 
-let sfi_component sfi j = List.nth sfi (j - 1)
+let sfi_component sfi j =
+  match List.nth_opt sfi (j - 1) with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Sql_gen.sfi_component: level %d out of range for Skolem function \
+            %s (depth %d)"
+           j
+           (View_tree.skolem_name sfi)
+           (List.length sfi))
 
 let rec build_group db tree groups (layout : layout) ~edge_label
     (g : Reduce.group) ~(anchor_level : int) ~(full : bool) : Sql.query =

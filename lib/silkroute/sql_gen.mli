@@ -34,6 +34,11 @@ type stream = {
 
 exception Unsupported of string
 
+val sfi_component : int list -> int -> int
+(** [sfi_component sfi j] is the [j]-th (1-based) component of a Skolem
+    function's index vector; raises [Invalid_argument] naming the Skolem
+    function and level when [j] is out of range. *)
+
 val stream_of_fragment :
   Relational.Database.t -> View_tree.t -> options -> Partition.fragment -> stream
 

@@ -141,6 +141,22 @@ let of_view (db : R.Database.t) (v : Rxl.view) : t =
   let alias_of_block : (Rxl.query, (string * string) list) Hashtbl.t =
     Hashtbl.create 16
   in
+  (* Passes 2 and 3 replay the prepass scopes; a missing block means the
+     prepass never visited it, which a bare [Not_found] would hide. *)
+  let aliases_of_block (q : Rxl.query) =
+    match Hashtbl.find_opt alias_of_block q with
+    | Some aliases -> aliases
+    | None ->
+        let block =
+          String.concat ", "
+            (List.map
+               (fun (b : Rxl.binding) -> b.Rxl.table ^ " $" ^ b.Rxl.var)
+               q.Rxl.from_)
+        in
+        invalid_arg
+          ("View_tree: no aliases recorded for query block [from " ^ block
+         ^ "] — the block was not visited by the alias prepass")
+  in
   let rec prepass (outer : (string * string * string) list) (q : Rxl.query) =
     let new_bindings =
       List.map
@@ -191,7 +207,7 @@ let of_view (db : R.Database.t) (v : Rxl.view) : t =
   (* Pass 2 will need field resolution identical to pass 1: rebuild the
      scopes using the recorded aliases. *)
   let rec collect (outer : (string * string * string) list) (q : Rxl.query) =
-    let aliases = Hashtbl.find alias_of_block q in
+    let aliases = aliases_of_block q in
     let new_bindings =
       List.map
         (fun (b : Rxl.binding) ->
@@ -251,7 +267,7 @@ let of_view (db : R.Database.t) (v : Rxl.view) : t =
   let pending_contents : (int * (int * content)) list ref = ref [] in
   let rec walk_query (ws : walk_scope) (parent : (int * node) option)
       (item_index : int ref) (q : Rxl.query) =
-    let aliases = Hashtbl.find alias_of_block q in
+    let aliases = aliases_of_block q in
     let new_bindings =
       List.map
         (fun (b : Rxl.binding) ->

@@ -38,6 +38,7 @@ let () =
       ("query3", Test_query3.suite);
       ("middleware", Test_middleware.suite);
       ("streaming", Test_streaming.suite);
+      ("resilience", Test_resilience.suite);
       ("obs", Test_obs.suite);
       qcheck "random-views:props" Test_random_views.props;
     ]

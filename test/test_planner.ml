@@ -116,6 +116,34 @@ let test_fragment_of_helper () =
   Alcotest.(check int) "root" 0 f.Partition.root;
   Alcotest.(check int) "two internal edges" 2 (List.length f.Partition.internal_edges)
 
+let test_requests_is_per_run_delta () =
+  (* a reused oracle must not inflate later reports: the second run on
+     the same oracle reports its own request count, not the cumulative
+     counter (cache warmth may make it cheaper, never negative) *)
+  let db, p = setup Queries.query1_text in
+  let oracle = R.Cost.oracle db in
+  let gen () =
+    Planner.gen_plan db oracle p.Middleware.tree p.Middleware.labels
+      Planner.default_params
+  in
+  let first = gen () in
+  let second = gen () in
+  Alcotest.(check bool) "first run issues requests" true
+    (first.Planner.requests > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "second run reports a delta (%d <= %d), not a cumulative"
+       second.Planner.requests first.Planner.requests)
+    true
+    (second.Planner.requests >= 0
+    && second.Planner.requests <= first.Planner.requests);
+  (* and a fresh oracle reproduces the first run's figure exactly *)
+  let fresh =
+    Planner.gen_plan db (R.Cost.oracle db) p.Middleware.tree
+      p.Middleware.labels Planner.default_params
+  in
+  Alcotest.(check int) "fresh oracle matches first run" first.Planner.requests
+    fresh.Planner.requests
+
 let test_deterministic () =
   let db, p = setup Queries.query1_text in
   let a = run db p and b = run db p in
@@ -133,5 +161,7 @@ let suite =
     Alcotest.test_case "greedy beats default strategies" `Quick test_generated_plan_beats_baselines;
     Alcotest.test_case "greedy via middleware + correct" `Quick test_greedy_strategy_through_middleware;
     Alcotest.test_case "fragment_of helper" `Quick test_fragment_of_helper;
+    Alcotest.test_case "requests is a per-run delta" `Quick
+      test_requests_is_per_run_delta;
     Alcotest.test_case "deterministic" `Quick test_deterministic;
   ]

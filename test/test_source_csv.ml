@@ -133,6 +133,42 @@ let test_csv_errors () =
   Alcotest.(check bool) "missing NOT NULL" true
     (try ignore (Csv.load db "T" "id\n1\n"); false with Csv.Csv_error _ -> true)
 
+let test_csv_error_diagnostics () =
+  let db = csv_db () in
+  (* a malformed cell names the source file, the row and the column *)
+  let msg, row =
+    try
+      ignore
+        (Csv.load ~source:"people.csv" db "T" "id,name\n1,ann\nxx,bob\n");
+      ("", 0)
+    with Csv.Csv_error (m, r) -> (m, r)
+  in
+  Alcotest.(check int) "1-based row (after header)" 3 row;
+  let contains needle =
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S mentions %S" msg needle)
+      true
+      (let n = String.length needle and l = String.length msg in
+       let rec go i = i + n <= l && (String.sub msg i n = needle || go (i + 1)) in
+       go 0)
+  in
+  contains "people.csv";
+  contains "row 3";
+  contains "column id";
+  contains "\"xx\"";
+  (* without a source, diagnostics still carry row and column *)
+  (try ignore (Csv.load db "T" "id,name\n9999999999999999999999,x\n")
+   with Csv.Csv_error (m, r) ->
+     Alcotest.(check int) "row" 2 r;
+     Alcotest.(check bool) "names column" true
+       (String.length m > 0
+       && (let needle = "column id" in
+           let n = String.length needle and l = String.length m in
+           let rec go i =
+             i + n <= l && (String.sub m i n = needle || go (i + 1))
+           in
+           go 0)))
+
 let test_csv_export_round_trip () =
   let db = csv_db () in
   ignore
@@ -168,6 +204,8 @@ let suite =
     Alcotest.test_case "csv: typed load, NULL vs empty" `Quick test_csv_load_typed;
     Alcotest.test_case "csv: header reorder/omit" `Quick test_csv_header_reorder_and_omit;
     Alcotest.test_case "csv: error reporting" `Quick test_csv_errors;
+    Alcotest.test_case "csv: error diagnostics name file/row/column" `Quick
+      test_csv_error_diagnostics;
     Alcotest.test_case "csv: export round trip" `Quick test_csv_export_round_trip;
     Alcotest.test_case "csv: TPC-H round trip" `Quick test_csv_tpch_round_trip;
   ]

@@ -16,6 +16,9 @@ dune runtest
 echo "== memory smoke (streaming path stays bounded)"
 dune exec tools/mem_smoke.exe
 
+echo "== fault smoke (byte-identical output under injected faults)"
+dune exec tools/fault_smoke.exe
+
 if command -v ocamlformat > /dev/null 2>&1; then
   echo "== dune build @fmt"
   dune build @fmt
