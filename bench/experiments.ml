@@ -352,6 +352,193 @@ let extra () =
     (ratio unified_ou.query_ms best)
     (ratio fully.query_ms best)
 
+(* --- tentpole check: the rewrite layer may only lower the bill ---------- *)
+
+(* Differential sweep of the Fig. 13 configuration: every plan of
+   Query 1, both reduce modes, each generated stream executed through
+   the plan-based path (lower → rewrite → physical) and through the seed
+   AST interpreter.  Projection pruning and predicate pushdown must be
+   wins or no-ops — identical relations for no more work — and the
+   experiment exits non-zero on any violation so CI can gate on it. *)
+let pruning () =
+  print_header
+    "Pruning: plan path vs seed interpreter (Fig. 13 sweep, Query 1)";
+  let db, p = prepare config_a S.Queries.query1_text in
+  print_config db config_a;
+  let tree = p.S.Middleware.tree in
+  let violations = ref 0 in
+  List.iter
+    (fun reduce ->
+      let opts =
+        {
+          S.Sql_gen.style = S.Sql_gen.Outer_join;
+          labels = (if reduce then Some p.S.Middleware.labels else None);
+        }
+      in
+      let new_total = ref 0
+      and legacy_total = ref 0
+      and wins = ref 0
+      and streams_n = ref 0 in
+      List.iter
+        (fun mask ->
+          let plan = S.Partition.of_mask tree mask in
+          List.iter
+            (fun s ->
+              let q = s.S.Sql_gen.query in
+              let r_new, st_new = R.Executor.run_with_stats db q in
+              let r_old, st_old = R.Executor.run_legacy_with_stats db q in
+              incr streams_n;
+              if r_new <> r_old then begin
+                incr violations;
+                Printf.printf "!! mask=%d reduce=%b: outputs differ\n" mask
+                  reduce
+              end;
+              if st_new.R.Executor.work > st_old.R.Executor.work then begin
+                incr violations;
+                Printf.printf "!! mask=%d reduce=%b: new work %d > seed %d\n"
+                  mask reduce st_new.R.Executor.work st_old.R.Executor.work
+              end;
+              if st_new.R.Executor.work < st_old.R.Executor.work then
+                incr wins;
+              new_total := !new_total + st_new.R.Executor.work;
+              legacy_total := !legacy_total + st_old.R.Executor.work)
+            (S.Sql_gen.streams db tree plan opts))
+        (S.Partition.all_masks tree);
+      Printf.printf
+        "%s: %d streams; work %d (plan path) vs %d (seed) — %.1f%% saved; \
+         strictly cheaper on %d streams\n"
+        (if reduce then "reduced    " else "non-reduced")
+        !streams_n !new_total !legacy_total
+        (100.0 *. (1.0 -. (float_of_int !new_total /. float_of_int !legacy_total)))
+        !wins)
+    [ false; true ];
+  if !violations > 0 then begin
+    Printf.printf
+      "\n%d VIOLATIONS — a rewrite raised the bill or changed an output\n"
+      !violations;
+    exit 1
+  end
+  else
+    Printf.printf
+      "\nEvery plan: identical output, work(plan path) <= work(seed).\n"
+
+(* --- tentpole check: cost-oracle calibration ---------------------------- *)
+
+(* The oracle prices the same physical plan the engine runs, so its
+   per-operator estimates can be compared to the executor's meter
+   readings node by node.  q-error = max(est/act, act/est) with both
+   sides clamped to >= 1; 1.00 is a perfect estimate. *)
+let calibration () =
+  print_header
+    "Calibration: cost-oracle estimates vs executor actuals, per operator";
+  let db, _ = prepare config_a S.Queries.query1_text in
+  print_config db config_a;
+  let stats = R.Stats.analyze db in
+  let qerr est act =
+    let e = Float.max 1.0 est and a = Float.max 1.0 act in
+    Float.max (e /. a) (a /. e)
+  in
+  (* per operator kind: node count, sum of log q-errors (rows, cost),
+     worst q-errors *)
+  let acc = Hashtbl.create 8 in
+  let note op rq cq =
+    let n, slr, mxr, slc, mxc =
+      match Hashtbl.find_opt acc op with
+      | Some x -> x
+      | None ->
+          let x = (ref 0, ref 0.0, ref 1.0, ref 0.0, ref 1.0) in
+          Hashtbl.add acc op x;
+          x
+    in
+    incr n;
+    slr := !slr +. Float.log rq;
+    if rq > !mxr then mxr := rq;
+    slc := !slc +. Float.log cq;
+    if cq > !mxc then mxc := cq
+  in
+  let streams_n = ref 0 in
+  let sum_log_total = ref 0.0 and worst_total = ref 1.0 in
+  List.iter
+    (fun (_qname, text) ->
+      let p = S.Middleware.prepare_text db text in
+      let tree = p.S.Middleware.tree in
+      List.iter
+        (fun reduce ->
+          let plans =
+            let oracle = R.Cost.oracle_with_stats db stats in
+            let r =
+              S.Planner.gen_plan ~reduce db oracle tree p.S.Middleware.labels
+                S.Planner.default_params
+            in
+            [
+              S.Partition.unified tree;
+              S.Partition.fully_partitioned tree;
+              S.Planner.best_plan tree r;
+            ]
+          in
+          List.iter
+            (fun style ->
+              let opts =
+                {
+                  S.Sql_gen.style;
+                  labels =
+                    (if reduce then Some p.S.Middleware.labels else None);
+                }
+              in
+              List.iter
+                (fun plan ->
+                  List.iter
+                    (fun s ->
+                      let phys = R.Physical.plan_of db s.S.Sql_gen.query in
+                      let est = R.Cost.annotate stats phys in
+                      let _, st = R.Executor.run_plan_with_stats db phys in
+                      incr streams_n;
+                      let tq =
+                        qerr est.R.Cost.eval_cost
+                          (float_of_int st.R.Executor.work)
+                      in
+                      sum_log_total := !sum_log_total +. Float.log tq;
+                      if tq > !worst_total then worst_total := tq;
+                      R.Physical.iter
+                        (fun n ->
+                          note (R.Physical.op_name n)
+                            (qerr n.R.Physical.est_rows
+                               (float_of_int n.R.Physical.act_rows))
+                            (qerr n.R.Physical.est_cost
+                               (float_of_int n.R.Physical.act_cost)))
+                        phys)
+                    (S.Sql_gen.streams db tree plan opts))
+                plans)
+            [ S.Sql_gen.Outer_join; S.Sql_gen.Outer_union ])
+        [ false; true ])
+    [
+      ("Query 1", S.Queries.query1_text);
+      ("Query 2", S.Queries.query2_text);
+      ("Query 3", S.Queries.query3_text);
+    ];
+  Printf.printf "\n%-12s %6s %11s %11s %11s %11s\n" "operator" "nodes"
+    "rows q-geo" "rows q-max" "cost q-geo" "cost q-max";
+  let keys = Hashtbl.fold (fun k _ l -> k :: l) acc [] |> List.sort compare in
+  List.iter
+    (fun k ->
+      let n, slr, mxr, slc, mxc = Hashtbl.find acc k in
+      Printf.printf "%-12s %6d %11.2f %11.2f %11.2f %11.2f\n" k !n
+        (exp (!slr /. float_of_int !n))
+        !mxr
+        (exp (!slc /. float_of_int !n))
+        !mxc)
+    keys;
+  Printf.printf
+    "\n%d streams (q1/q2/q3 x unified/fully/greedy-best x both styles x both\n\
+     reduce modes); whole-stream eval-cost q-error: geo-mean %.2f, worst %.2f\n"
+    !streams_n
+    (exp (!sum_log_total /. float_of_int !streams_n))
+    !worst_total;
+  Printf.printf
+    "(Scans are exact by construction; joins/filters carry System-R\n\
+     independence assumptions.  test/test_calibration.ml fails the suite\n\
+     if these drift grossly.)\n"
+
 (* --- beyond the paper: resilience under a faulty backend ---------------- *)
 
 (* Total time vs fault rate for the unified plan of Query 1, run through
@@ -420,4 +607,6 @@ let all () =
   requests ();
   ablation ();
   extra ();
+  pruning ();
+  calibration ();
   resilience ()

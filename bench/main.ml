@@ -3,7 +3,7 @@
    With no arguments: run every experiment (each table and figure of the
    paper) and the bechamel micro-benchmarks.  With --experiment <id>:
    run one of table1 | sec2 | fig13 | fig14 | fig15 | fig18 | ranks |
-   requests | ablation | micro.  With --obs-jsonl <file>: trace every
+   requests | ablation | extra | pruning | resilience | micro.  With --obs-jsonl <file>: trace every
    experiment through lib/obs and append per-experiment JSONL records
    (spans + metrics, tagged with the experiment id) to <file>. *)
 
@@ -19,6 +19,8 @@ let experiments =
     ("requests", Experiments.requests);
     ("ablation", Experiments.ablation);
     ("extra", Experiments.extra);
+    ("pruning", Experiments.pruning);
+    ("calibration", Experiments.calibration);
     ("resilience", Experiments.resilience);
     ("micro", Micro.run);
   ]

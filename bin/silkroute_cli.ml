@@ -125,6 +125,14 @@ let retries_arg =
     & opt int R.Backend.default_retry.R.Backend.max_retries
     & info [ "retries" ] ~docv:"N" ~doc)
 
+let explain_flag_arg =
+  let doc =
+    "After executing, print each stream's SQL, logical algebra tree and \
+     cost-annotated physical plan (estimated vs actual rows/work per \
+     operator) to stderr."
+  in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
 let verbose_arg =
   let doc = "Log middleware activity (plans, streams) to stderr." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
@@ -206,7 +214,7 @@ let setup query view_file scale seed schema data =
   (db, S.Middleware.prepare_text db text)
 
 let run_cmd query view_file scale seed schema data strategy no_reduce pretty
-    stream budget resilient fault_rate fault_seed retries verbose trace
+    stream budget resilient fault_rate fault_seed retries explain verbose trace
     trace_json metrics =
   setup_logs verbose;
   setup_obs ~trace ~trace_json ~metrics;
@@ -228,6 +236,7 @@ let run_cmd query view_file scale seed schema data strategy no_reduce pretty
       S.Middleware.execute_resilient ~reduce:(not no_reduce) ~backend p plan
     in
     let se = r.S.Middleware.r_streaming in
+    if explain then prerr_endline (S.Middleware.explain_streaming p se);
     S.Middleware.stream_to_channel p se stdout;
     print_newline ();
     let res = r.S.Middleware.r_resilience in
@@ -248,6 +257,7 @@ let run_cmd query view_file scale seed schema data strategy no_reduce pretty
     let se =
       S.Middleware.execute_streaming ~reduce:(not no_reduce) ~budget p plan
     in
+    if explain then prerr_endline (S.Middleware.explain_streaming p se);
     S.Middleware.stream_to_channel p se stdout;
     print_newline ();
     Printf.eprintf
@@ -258,6 +268,7 @@ let run_cmd query view_file scale seed schema data strategy no_reduce pretty
   end
   else begin
     let e = S.Middleware.execute ~reduce:(not no_reduce) ~budget p plan in
+    if explain then prerr_endline (S.Middleware.explain_execution p e);
     if pretty then
       print_string
         (Xmlkit.Serialize.to_pretty_string (S.Middleware.document_of p e))
@@ -276,15 +287,8 @@ let explain_cmd query view_file scale seed schema data strategy no_reduce =
   let plan = S.Middleware.partition_of p (parse_strategy strategy) in
   Printf.printf "plan: %s (%d streams)\n\n" (S.Partition.to_string plan)
     (S.Partition.stream_count plan);
-  let opts =
-    { S.Sql_gen.style = S.Sql_gen.Outer_join;
-      labels = (if no_reduce then None else Some p.S.Middleware.labels) }
-  in
-  List.iteri
-    (fun i (s : S.Sql_gen.stream) ->
-      Printf.printf "-- SQL query %d:\n%s\n\n" (i + 1)
-        (R.Sql_print.to_pretty_string s.S.Sql_gen.query))
-    (S.Sql_gen.streams db p.S.Middleware.tree plan opts)
+  ignore db;
+  print_endline (S.Middleware.explain ~reduce:(not no_reduce) p plan)
 
 let plan_cmd query view_file scale seed schema data no_reduce trace trace_json
     metrics =
@@ -308,7 +312,8 @@ let run_t =
     const run_cmd $ query_arg $ view_arg $ scale_arg $ seed_arg $ schema_arg
     $ data_arg $ strategy_arg $ no_reduce_arg $ pretty_arg $ stream_arg
     $ budget_arg $ resilient_arg $ fault_rate_arg $ fault_seed_arg
-    $ retries_arg $ verbose_arg $ trace_arg $ trace_json_arg $ metrics_arg)
+    $ retries_arg $ explain_flag_arg $ verbose_arg $ trace_arg $ trace_json_arg
+    $ metrics_arg)
 
 let explain_t =
   Term.(
@@ -323,7 +328,12 @@ let plan_t =
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Materialize the XML view.") run_t;
-    Cmd.v (Cmd.info "explain" ~doc:"Show the view tree, labels, plan and SQL.") explain_t;
+    Cmd.v
+      (Cmd.info "explain"
+         ~doc:
+           "Show the view tree, labels, partition, and each stream's SQL, \
+            logical algebra and cost-annotated physical plan.")
+      explain_t;
     Cmd.v (Cmd.info "plan" ~doc:"Run the greedy plan-generation algorithm.") plan_t;
   ]
 

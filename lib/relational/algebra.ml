@@ -1,0 +1,752 @@
+(* Typed logical relational algebra: lowering from the SQL AST and the
+   rewrite pipeline (pushdown, constant folding, projection pruning).
+
+   The lowering is a structural mirror of the seed interpreter: the same
+   greedy connected-join ordering, the same eager WHERE-conjunct
+   placement, the same name-resolution rules (including ORDER BY
+   resolving output columns by name only).  That makes the rewrite
+   invariant checkable: any plan this module produces must yield
+   byte-identical rows in the same order, with work charges never above
+   the interpreter's. *)
+
+exception Ambiguous_column of string
+
+type header = (string * string) array
+
+type prov = { p_alias : string; p_col : string }
+
+type expr =
+  | Col of int * prov
+  | Lit of Value.t
+  | Cmp of Expr.cmp * expr * expr
+  | Arith of Expr.arith * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Is_null of expr
+  | Is_not_null of expr
+
+type t =
+  | Scan of { table : string; alias : string; cols : (int * string) array }
+  | Dual
+  | Filter of { input : t; pred : expr; pushed : bool; charged : bool }
+  | Project of { input : t; items : (expr * string) array }
+  | Join of {
+      left : t;
+      kind : Sql.join_kind;
+      right : t;
+      on : expr;
+      from_where : bool;
+    }
+  | Union_all of t * t
+  | Derived of { input : t; alias : string }
+  | Sort of { input : t; keys : (expr * Sql.dir) list }
+
+(* --- inspection ------------------------------------------------------- *)
+
+let rec header = function
+  | Scan { alias; cols; _ } -> Array.map (fun (_, c) -> (alias, c)) cols
+  | Dual -> [||]
+  | Filter { input; _ } -> header input
+  | Project { items; _ } -> Array.map (fun (_, a) -> ("", a)) items
+  | Join { left; right; _ } -> Array.append (header left) (header right)
+  | Union_all (a, _) -> header a
+  | Derived { input; alias } ->
+      Array.map (fun (_, c) -> (alias, c)) (header input)
+  | Sort { input; _ } -> header input
+
+let width n = Array.length (header n)
+
+let is_lit = function Lit _ -> true | _ -> false
+
+let rec expr_positions = function
+  | Col (i, _) -> [ i ]
+  | Lit _ -> []
+  | Cmp (_, a, b) | Arith (_, a, b) | And (a, b) | Or (a, b) ->
+      expr_positions a @ expr_positions b
+  | Not e | Is_null e | Is_not_null e -> expr_positions e
+
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> Lit (Value.Bool true)
+  | e :: rest -> List.fold_left (fun acc c -> And (acc, c)) e rest
+
+let rec disjuncts = function
+  | Or (a, b) -> disjuncts a @ disjuncts b
+  | e -> [ e ]
+
+let rec to_resolved = function
+  | Col (i, _) -> Expr.R_col i
+  | Lit v -> Expr.R_lit v
+  | Cmp (op, a, b) -> Expr.R_cmp (op, to_resolved a, to_resolved b)
+  | Arith (op, a, b) -> Expr.R_arith (op, to_resolved a, to_resolved b)
+  | And (a, b) -> Expr.R_and (to_resolved a, to_resolved b)
+  | Or (a, b) -> Expr.R_or (to_resolved a, to_resolved b)
+  | Not e -> Expr.R_not (to_resolved e)
+  | Is_null e -> Expr.R_is_null (to_resolved e)
+  | Is_not_null e -> Expr.R_is_not_null (to_resolved e)
+
+let cmp_name = function
+  | Expr.Eq -> "="
+  | Expr.Neq -> "<>"
+  | Expr.Lt -> "<"
+  | Expr.Le -> "<="
+  | Expr.Gt -> ">"
+  | Expr.Ge -> ">="
+
+let arith_name = function
+  | Expr.Add -> "+"
+  | Expr.Sub -> "-"
+  | Expr.Mul -> "*"
+  | Expr.Div -> "/"
+
+let rec expr_to_string = function
+  | Col (_, { p_alias = ""; p_col }) -> p_col
+  | Col (_, { p_alias; p_col }) -> p_alias ^ "." ^ p_col
+  | Lit v -> Value.to_sql v
+  | Cmp (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (cmp_name op)
+        (expr_to_string b)
+  | Arith (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (arith_name op)
+        (expr_to_string b)
+  | And (a, b) ->
+      Printf.sprintf "(%s AND %s)" (expr_to_string a) (expr_to_string b)
+  | Or (a, b) ->
+      Printf.sprintf "(%s OR %s)" (expr_to_string a) (expr_to_string b)
+  | Not e -> Printf.sprintf "(NOT %s)" (expr_to_string e)
+  | Is_null e -> Printf.sprintf "(%s IS NULL)" (expr_to_string e)
+  | Is_not_null e -> Printf.sprintf "(%s IS NOT NULL)" (expr_to_string e)
+
+(* --- name resolution --------------------------------------------------- *)
+
+(* Identical rules to the interpreter's [lookup]: qualified references
+   need an exact (alias, column) match; unqualified references match by
+   column name and raise on the second hit. *)
+let lookup (h : header) (q, c) =
+  let n = Array.length h in
+  match q with
+  | Some a ->
+      let rec go i =
+        if i >= n then None
+        else if fst h.(i) = a && snd h.(i) = c then Some i
+        else go (i + 1)
+      in
+      go 0
+  | None ->
+      let rec go i found =
+        if i >= n then found
+        else if snd h.(i) = c then
+          match found with
+          | None -> go (i + 1) (Some i)
+          | Some _ -> raise (Ambiguous_column c)
+        else go (i + 1) found
+      in
+      go 0 None
+
+let col_of h i = Col (i, { p_alias = fst h.(i); p_col = snd h.(i) })
+
+let resolve_sql (h : header) (e : Expr.t) : expr =
+  let rec go = function
+    | Expr.Col (q, c) -> (
+        match lookup h (q, c) with
+        | Some i -> col_of h i
+        | None ->
+            raise
+              (Expr.Unresolved_column
+                 (match q with Some q -> q ^ "." ^ c | None -> c)))
+    | Expr.Lit v -> Lit v
+    | Expr.Cmp (op, a, b) -> Cmp (op, go a, go b)
+    | Expr.Arith (op, a, b) -> Arith (op, go a, go b)
+    | Expr.And (a, b) -> And (go a, go b)
+    | Expr.Or (a, b) -> Or (go a, go b)
+    | Expr.Not e -> Not (go e)
+    | Expr.Is_null e -> Is_null (go e)
+    | Expr.Is_not_null e -> Is_not_null (go e)
+  in
+  go e
+
+(* --- lowering ---------------------------------------------------------- *)
+
+let scan_of db name alias =
+  let schema = Database.schema db name in
+  let cols =
+    Array.of_list (List.mapi (fun i c -> (i, c)) (Schema.column_names schema))
+  in
+  Scan { table = name; alias; cols }
+
+let rec lower_table_ref db (r : Sql.table_ref) : t =
+  match r with
+  | Sql.Table { name; alias } -> scan_of db name alias
+  | Sql.Derived { query; alias } ->
+      Derived { input = lower_query db query; alias }
+  | Sql.Join { left; kind; right; on } ->
+      let l = lower_table_ref db left in
+      let r = lower_table_ref db right in
+      let h = Array.append (header l) (header r) in
+      Join { left = l; kind; right = r; on = resolve_sql h on; from_where = false }
+
+(* Static header of a table_ref, for connectivity tests. *)
+and static_header db (r : Sql.table_ref) : header =
+  match r with
+  | Sql.Table { name; alias } ->
+      let schema = Database.schema db name in
+      Array.of_list
+        (List.map (fun c -> (alias, c)) (Schema.column_names schema))
+  | Sql.Derived { query; alias } ->
+      Array.of_list (List.map (fun c -> (alias, c)) (Sql.output_columns query))
+  | Sql.Join { left; right; _ } ->
+      Array.append (static_header db left) (static_header db right)
+
+(* Greedy connected ordering of the comma FROM list, with WHERE conjuncts
+   applied as soon as their columns are in scope — structurally identical
+   to the interpreter's [eval_from]. *)
+and lower_from db (from : Sql.table_ref list) (where : Expr.t option) : t =
+  match from with
+  | [] -> Dual (* the interpreter ignores WHERE on the dual row *)
+  | first :: rest ->
+      let conjs = match where with None -> [] | Some w -> Expr.conjuncts w in
+      let applicable h c =
+        List.for_all (fun qc -> lookup h qc <> None) (Expr.columns c)
+      in
+      (* [below]: joins still follow, so this filter runs earlier than a
+         naive filter-after-product plan would run it. *)
+      let apply_filters ~below current pending =
+        let h = header current in
+        let now, later = List.partition (fun c -> applicable h c) pending in
+        match now with
+        | [] -> (current, later)
+        | _ ->
+            ( Filter
+                {
+                  input = current;
+                  pred = resolve_sql h (Expr.conjoin now);
+                  pushed = below;
+                  charged = true;
+                },
+              later )
+      in
+      let connected h candidate =
+        let ch = static_header db candidate in
+        List.exists
+          (fun c ->
+            match Expr.as_column_equality c with
+            | Some (x, y) ->
+                (lookup h x <> None && lookup ch y <> None)
+                || (lookup h y <> None && lookup ch x <> None)
+            | None -> false)
+          conjs
+      in
+      let current, pending =
+        apply_filters ~below:(rest <> []) (lower_table_ref db first) conjs
+      in
+      let rec go current pending remaining =
+        match remaining with
+        | [] -> (
+            match pending with
+            | [] -> current
+            | leftover ->
+                let h = header current in
+                Filter
+                  {
+                    input = current;
+                    pred = resolve_sql h (Expr.conjoin leftover);
+                    pushed = false;
+                    charged = true;
+                  })
+        | _ ->
+            let next, rest =
+              match
+                List.partition (fun r -> connected (header current) r) remaining
+              with
+              | n :: ns, others -> (n, ns @ others)
+              | [], r :: rs -> (r, rs)
+              | [], [] -> assert false
+            in
+            let right = lower_table_ref db next in
+            let h = Array.append (header current) (header right) in
+            let usable, pending' =
+              List.partition (fun c -> applicable h c) pending
+            in
+            let current =
+              Join
+                {
+                  left = current;
+                  kind = Sql.Inner;
+                  right;
+                  on = resolve_sql h (Expr.conjoin usable);
+                  from_where = true;
+                }
+            in
+            let current, pending' =
+              apply_filters ~below:(rest <> []) current pending'
+            in
+            go current pending' rest
+      in
+      go current pending rest
+
+and lower_select db (s : Sql.select) : t =
+  let input = lower_from db s.from s.where in
+  let h = header input in
+  let items =
+    Array.of_list
+      (List.map
+         (fun (it : Sql.select_item) -> (resolve_sql h it.expr, it.alias))
+         s.items)
+  in
+  Project { input; items }
+
+and lower_body db (b : Sql.body) : t =
+  match b with
+  | Sql.Select s -> lower_select db s
+  | Sql.Union_all (a, b) ->
+      let la = lower_body db a in
+      let lb = lower_body db b in
+      if width la <> width lb then
+        invalid_arg "Executor: UNION ALL branches have different arity";
+      Union_all (la, lb)
+
+and lower_query db (q : Sql.query) : t =
+  let body = lower_body db q.body in
+  match q.order_by with
+  | [] -> body
+  | keys ->
+      let h = header body in
+      let keys =
+        List.map
+          (fun (e, d) ->
+            let r =
+              match e with
+              | Expr.Col (_, c) -> (
+                  (* ORDER BY over output columns resolves by name only *)
+                  match lookup h (None, c) with
+                  | Some i -> col_of h i
+                  | None -> resolve_sql h e)
+              | _ -> resolve_sql h e
+            in
+            (r, d))
+          keys
+      in
+      Sort { input = body; keys }
+
+let lower = lower_query
+
+(* --- constant folding --------------------------------------------------- *)
+
+(* Mirrors [Expr.eval]'s three-valued logic exactly; only rewrites where
+   the evaluation result is fully determined. *)
+let rec fold_expr (e : expr) : expr =
+  match e with
+  | Col _ | Lit _ -> e
+  | Cmp (op, a, b) -> (
+      match (fold_expr a, fold_expr b) with
+      | Lit x, Lit y -> (
+          match Value.compare3 x y with
+          | None -> Lit Value.Null
+          | Some c -> Lit (Value.Bool (Expr.apply_cmp op c)))
+      | a, b -> Cmp (op, a, b))
+  | Arith (op, a, b) -> (
+      match (fold_expr a, fold_expr b) with
+      | Lit x, Lit y -> Lit (Expr.apply_arith op x y)
+      | a, b -> Arith (op, a, b))
+  | And (a, b) -> (
+      match (fold_expr a, fold_expr b) with
+      | Lit (Value.Bool false), _ | _, Lit (Value.Bool false) ->
+          Lit (Value.Bool false)
+      | Lit (Value.Bool true), Lit v | Lit v, Lit (Value.Bool true) ->
+          (match v with Value.Bool _ -> Lit v | _ -> Lit Value.Null)
+      | Lit (Value.Bool true), x | x, Lit (Value.Bool true) -> x
+      | a, b -> And (a, b))
+  | Or (a, b) -> (
+      match (fold_expr a, fold_expr b) with
+      | Lit (Value.Bool true), _ | _, Lit (Value.Bool true) ->
+          Lit (Value.Bool true)
+      | Lit (Value.Bool false), Lit v | Lit v, Lit (Value.Bool false) ->
+          (match v with Value.Bool _ -> Lit v | _ -> Lit Value.Null)
+      | Lit (Value.Bool false), x | x, Lit (Value.Bool false) -> x
+      | a, b -> Or (a, b))
+  | Not e -> (
+      match fold_expr e with
+      | Lit (Value.Bool b) -> Lit (Value.Bool (not b))
+      | Lit _ -> Lit Value.Null
+      | x -> Not x)
+  | Is_null e -> (
+      match fold_expr e with
+      | Lit v -> Lit (Value.Bool (Value.is_null v))
+      | x -> Is_null x)
+  | Is_not_null e -> (
+      match fold_expr e with
+      | Lit v -> Lit (Value.Bool (not (Value.is_null v)))
+      | x -> Is_not_null x)
+
+let rec remap_expr f = function
+  | Col (i, p) -> Col (f i, p)
+  | Lit v -> Lit v
+  | Cmp (op, a, b) -> Cmp (op, remap_expr f a, remap_expr f b)
+  | Arith (op, a, b) -> Arith (op, remap_expr f a, remap_expr f b)
+  | And (a, b) -> And (remap_expr f a, remap_expr f b)
+  | Or (a, b) -> Or (remap_expr f a, remap_expr f b)
+  | Not e -> Not (remap_expr f e)
+  | Is_null e -> Is_null (remap_expr f e)
+  | Is_not_null e -> Is_not_null (remap_expr f e)
+
+(* --- predicate pushdown ------------------------------------------------- *)
+
+(* Rewrite a predicate over a projection's output into one over its
+   input by inlining the item expressions. *)
+let rec subst_items (items : (expr * string) array) = function
+  | Col (i, _) -> fst items.(i)
+  | Lit v -> Lit v
+  | Cmp (op, a, b) -> Cmp (op, subst_items items a, subst_items items b)
+  | Arith (op, a, b) -> Arith (op, subst_items items a, subst_items items b)
+  | And (a, b) -> And (subst_items items a, subst_items items b)
+  | Or (a, b) -> Or (subst_items items a, subst_items items b)
+  | Not e -> Not (subst_items items e)
+  | Is_null e -> Is_null (subst_items items e)
+  | Is_not_null e -> Is_not_null (subst_items items e)
+
+(* Sink [pred] below the nearest charging projection(s) of [n].  Only
+   that placement is guaranteed to never increase work: the projection
+   then emits (and pays for) fewer rows, while the new filter charges at
+   most what the predicate's original charge point did.  [charged]
+   distinguishes WHERE-origin predicates (which paid per survivor at
+   their original position) from ON-origin ones (which the interpreter
+   evaluated for free during probing, so the relocated filter must stay
+   free). *)
+let rec try_sink ~charged (pred : expr) (n : t) : t option =
+  match n with
+  | Derived { input; alias } ->
+      Option.map
+        (fun input -> Derived { input; alias })
+        (try_sink ~charged pred input)
+  | Sort { input; keys } ->
+      (* filtering a subset before a stable sort sorts the same subset *)
+      Option.map
+        (fun input -> Sort { input; keys })
+        (try_sink ~charged pred input)
+  | Union_all (a, b) -> (
+      match (try_sink ~charged pred a, try_sink ~charged pred b) with
+      | Some a, Some b -> Some (Union_all (a, b))
+      | _ -> None)
+  | Project { input; items } -> (
+      match fold_expr (subst_items items pred) with
+      | Lit (Value.Bool true) -> Some n
+      | pred' ->
+          Some
+            (Project
+               {
+                 input = Filter { input; pred = pred'; pushed = true; charged };
+                 items;
+               }))
+  | Scan _ | Dual | Filter _ | Join _ -> None
+
+let rec push (n : t) : t =
+  match n with
+  | Scan _ | Dual -> n
+  | Filter { input; pred; pushed; charged } -> (
+      let input = push input in
+      if charged then
+        (* A charged filter must move as a unit: sinking only part of it
+           would add a charge point while the residual filter still pays
+           per survivor, which can exceed the naive plan's work. *)
+        match try_sink ~charged:true pred input with
+        | Some input -> input
+        | None -> Filter { input; pred; pushed; charged }
+      else
+        let input, kept =
+          List.fold_left
+            (fun (input, kept) c ->
+              match try_sink ~charged:false c input with
+              | Some input -> (input, kept)
+              | None -> (input, c :: kept))
+            (input, []) (conjuncts pred)
+        in
+        match List.rev kept with
+        | [] -> input
+        | ks -> Filter { input; pred = conjoin ks; pushed; charged })
+  | Project { input; items } -> Project { input = push input; items }
+  | Join { left; kind; right; on; from_where } -> (
+      let left = push left and right = push right in
+      (* Conjuncts of a single-disjunct ON that touch only one input can
+         sink into that input (right side always; left side only for
+         inner joins — an outer join keeps left rows that fail the ON).
+         The hash keys are cross-side equalities, so they are never
+         candidates and the join algorithm cannot change. *)
+      match disjuncts on with
+      | [ _ ] ->
+          let la = width left in
+          let step (left, right, kept) c =
+            let ps = expr_positions c in
+            let all_left = ps <> [] && List.for_all (fun p -> p < la) ps in
+            let all_right = ps <> [] && List.for_all (fun p -> p >= la) ps in
+            if all_left && kind = Sql.Inner then
+              match try_sink ~charged:false c left with
+              | Some left -> (left, right, kept)
+              | None -> (left, right, c :: kept)
+            else if all_right then
+              let c' = remap_expr (fun p -> p - la) c in
+              match try_sink ~charged:false c' right with
+              | Some right -> (left, right, kept)
+              | None -> (left, right, c :: kept)
+            else (left, right, c :: kept)
+          in
+          let left, right, kept =
+            List.fold_left step (left, right, []) (conjuncts on)
+          in
+          Join
+            { left; kind; right; on = conjoin (List.rev kept); from_where }
+      | _ -> Join { left; kind; right; on; from_where })
+  | Union_all (a, b) -> Union_all (push a, push b)
+  | Derived { input; alias } -> Derived { input = push input; alias }
+  | Sort { input; keys } -> Sort { input = push input; keys }
+
+(* --- constant propagation ----------------------------------------------- *)
+
+(* Per-position constant values of a node's output, where provable.
+   Left-outer right sides are never constant (NULL padding), and union
+   positions only when every branch agrees. *)
+let rec consts (n : t) : Value.t option array =
+  match n with
+  | Scan { cols; _ } -> Array.make (Array.length cols) None
+  | Dual -> [||]
+  | Filter { input; _ } | Sort { input; _ } | Derived { input; _ } ->
+      consts input
+  | Project { input; items } ->
+      let ic = consts input in
+      Array.map
+        (fun (e, _) ->
+          match e with
+          | Lit v -> Some v
+          | Col (i, _) -> ic.(i)
+          | _ -> None)
+        items
+  | Join { left; kind; right; _ } ->
+      let lc = consts left in
+      let rc =
+        match kind with
+        | Sql.Inner -> consts right
+        | Sql.Left_outer -> Array.make (width right) None
+      in
+      Array.append lc rc
+  | Union_all (a, b) ->
+      let ca = consts a and cb = consts b in
+      Array.map2
+        (fun x y ->
+          match (x, y) with
+          | Some v, Some w when Value.equal v w -> Some v
+          | _ -> None)
+        ca cb
+
+let rec subst_consts (ic : Value.t option array) = function
+  | Col (i, _) as e -> ( match ic.(i) with Some v -> Lit v | None -> e)
+  | Lit v -> Lit v
+  | Cmp (op, a, b) -> Cmp (op, subst_consts ic a, subst_consts ic b)
+  | Arith (op, a, b) -> Arith (op, subst_consts ic a, subst_consts ic b)
+  | And (a, b) -> And (subst_consts ic a, subst_consts ic b)
+  | Or (a, b) -> Or (subst_consts ic a, subst_consts ic b)
+  | Not e -> Not (subst_consts ic e)
+  | Is_null e -> Is_null (subst_consts ic e)
+  | Is_not_null e -> Is_not_null (subst_consts ic e)
+
+(* Replace provably-constant column references in projection items and
+   filter predicates with their literal values.  Join ON conditions are
+   left untouched: rewriting them could erase the column equalities the
+   physical layer derives hash keys from, degrading hash joins to
+   nested loops.  Literal items are what the narrow-emission accounting
+   (and the paper's fig. 13 null-padding argument) keys off. *)
+let rec propagate (n : t) : t =
+  match n with
+  | Scan _ | Dual -> n
+  | Filter { input; pred; pushed; charged } ->
+      let input = propagate input in
+      let ic = consts input in
+      Filter { input; pred = fold_expr (subst_consts ic pred); pushed; charged }
+  | Project { input; items } ->
+      let input = propagate input in
+      let ic = consts input in
+      Project
+        {
+          input;
+          items =
+            Array.map (fun (e, a) -> (fold_expr (subst_consts ic e), a)) items;
+        }
+  | Join { left; kind; right; on; from_where } ->
+      Join { left = propagate left; kind; right = propagate right; on; from_where }
+  | Union_all (a, b) -> Union_all (propagate a, propagate b)
+  | Derived { input; alias } -> Derived { input = propagate input; alias }
+  | Sort { input; keys } -> Sort { input = propagate input; keys }
+
+(* Drop filters whose predicate folded to TRUE (they keep every row and
+   would only add charges). *)
+let rec cleanup (n : t) : t =
+  match n with
+  | Scan _ | Dual -> n
+  | Filter { pred = Lit (Value.Bool true); input; _ } -> cleanup input
+  | Filter { input; pred; pushed; charged } ->
+      Filter { input = cleanup input; pred; pushed; charged }
+  | Project { input; items } -> Project { input = cleanup input; items }
+  | Join { left; kind; right; on; from_where } ->
+      Join { left = cleanup left; kind; right = cleanup right; on; from_where }
+  | Union_all (a, b) -> Union_all (cleanup a, cleanup b)
+  | Derived { input; alias } -> Derived { input = cleanup input; alias }
+  | Sort { input; keys } -> Sort { input = cleanup input; keys }
+
+(* --- projection pruning ------------------------------------------------- *)
+
+module ISet = Set.Make (Int)
+
+let positions_set e = ISet.of_list (expr_positions e)
+
+(* Restrict a node of width [w] to the output positions in [keep];
+   returns the sorted kept indices and the old→new map (-1 = dropped). *)
+let mapping_of w keep =
+  let map = Array.make w (-1) in
+  let kept = ISet.elements (ISet.filter (fun i -> i >= 0 && i < w) keep) in
+  List.iteri (fun rank i -> map.(i) <- rank) kept;
+  (Array.of_list kept, map)
+
+(* Rewrite [n] to produce only the output positions in [keep]; returns
+   the pruned node and the old→new position map.  Work can only shrink:
+   scans charge per stored row regardless of width, and emission/sort
+   charges are width-sensitive. *)
+let rec prune (n : t) (keep : ISet.t) : t * int array =
+  match n with
+  | Dual -> (Dual, [||])
+  | Scan { table; alias; cols } ->
+      let kept, map = mapping_of (Array.length cols) keep in
+      (Scan { table; alias; cols = Array.map (fun i -> cols.(i)) kept }, map)
+  | Filter { input; pred; pushed; charged } ->
+      let need = ISet.union keep (positions_set pred) in
+      let input, map = prune input need in
+      ( Filter
+          { input; pred = remap_expr (fun i -> map.(i)) pred; pushed; charged },
+        map )
+  | Sort { input; keys } ->
+      let need =
+        List.fold_left (fun acc (e, _) -> ISet.union acc (positions_set e)) keep
+          keys
+      in
+      let input, map = prune input need in
+      ( Sort
+          {
+            input;
+            keys = List.map (fun (e, d) -> (remap_expr (fun i -> map.(i)) e, d)) keys;
+          },
+        map )
+  | Project { input; items } ->
+      let kept, map = mapping_of (Array.length items) keep in
+      let items = Array.map (fun i -> items.(i)) kept in
+      let need =
+        Array.fold_left
+          (fun acc (e, _) -> ISet.union acc (positions_set e))
+          ISet.empty items
+      in
+      let input, imap = prune input need in
+      ( Project
+          {
+            input;
+            items =
+              Array.map (fun (e, a) -> (remap_expr (fun i -> imap.(i)) e, a)) items;
+          },
+        map )
+  | Union_all (a, b) ->
+      (* both branches have equal width and get the same keep set, so
+         their position maps coincide *)
+      let a, ma = prune a keep in
+      let b, _ = prune b keep in
+      (Union_all (a, b), ma)
+  | Join { left; kind; right; on; from_where } ->
+      let la = width left in
+      let need = ISet.union keep (positions_set on) in
+      let lneed = ISet.filter (fun i -> i < la) need in
+      let rneed =
+        ISet.fold
+          (fun i acc -> if i >= la then ISet.add (i - la) acc else acc)
+          need ISet.empty
+      in
+      let left, lmap = prune left lneed in
+      let right, rmap = prune right rneed in
+      let la' = width left in
+      let map =
+        Array.init
+          (la + Array.length rmap)
+          (fun i ->
+            if i < la then lmap.(i)
+            else match rmap.(i - la) with -1 -> -1 | j -> la' + j)
+      in
+      ( Join
+          { left; kind; right; on = remap_expr (fun i -> map.(i)) on; from_where },
+        map )
+  | Derived { input; alias } ->
+      let input, map = prune input keep in
+      (Derived { input; alias }, map)
+
+let prune_root n =
+  let all = ISet.of_list (List.init (width n) (fun i -> i)) in
+  fst (prune n all)
+
+let rewrite n = prune_root (cleanup (propagate (push n)))
+
+(* --- printing ----------------------------------------------------------- *)
+
+let item_to_string (e, a) =
+  match e with
+  | Col (_, { p_col; _ }) when p_col = a -> a
+  | _ -> a ^ ":=" ^ expr_to_string e
+
+let to_string (n : t) : string =
+  let b = Buffer.create 512 in
+  let line ind s =
+    Buffer.add_string b (String.make (ind * 2) ' ');
+    Buffer.add_string b s;
+    Buffer.add_char b '\n'
+  in
+  let rec go ind = function
+    | Scan { table; alias; cols } ->
+        line ind
+          (Printf.sprintf "scan %s as %s [%s]" table alias
+             (String.concat ", " (Array.to_list (Array.map snd cols))))
+    | Dual -> line ind "dual"
+    | Filter { input; pred; pushed; charged } ->
+        line ind
+          (Printf.sprintf "filter%s%s %s"
+             (if pushed then "[pushdown]" else "")
+             (if charged then "" else "[uncharged]")
+             (expr_to_string pred));
+        go (ind + 1) input
+    | Project { input; items } ->
+        line ind
+          (Printf.sprintf "project [%s]"
+             (String.concat ", " (Array.to_list (Array.map item_to_string items))));
+        go (ind + 1) input
+    | Join { left; kind; right; on; from_where } ->
+        line ind
+          (Printf.sprintf "join %s%s on %s"
+             (match kind with Sql.Inner -> "inner" | Sql.Left_outer -> "left-outer")
+             (if from_where then " [pushdown<-where]" else "")
+             (expr_to_string on));
+        go (ind + 1) left;
+        go (ind + 1) right
+    | Union_all (a, b) ->
+        line ind "union-all";
+        go (ind + 1) a;
+        go (ind + 1) b
+    | Derived { input; alias } ->
+        line ind (Printf.sprintf "derived %s" alias);
+        go (ind + 1) input
+    | Sort { input; keys } ->
+        line ind
+          (Printf.sprintf "sort [%s]"
+             (String.concat ", "
+                (List.map
+                   (fun (e, d) ->
+                     expr_to_string e
+                     ^ match d with Sql.Asc -> " asc" | Sql.Desc -> " desc")
+                   keys)));
+        go (ind + 1) input
+  in
+  go 0 n;
+  Buffer.contents b

@@ -1,9 +1,14 @@
 (* The cost / cardinality oracle.
 
-   Estimates are System-R style: per-table row counts from statistics,
+   Estimates are System-R style (per-table row counts from statistics,
    equality selectivity 1/max(ndv), range selectivity 1/3, independence
-   across conjuncts.  evaluation_cost charges scans, hash-join passes and
-   sorts; data_size is estimated width x cardinality.  The greedy planner
+   across conjuncts), but they are computed over the {!Physical.plan}
+   the engine actually runs: the same operator tree, the same join
+   algorithms, the same narrow-emission masks.  Walking the plan fills
+   each node's [est_rows]/[est_cost] (and [est_spills] on sorts) with
+   the same per-operator deltas the executor later records as
+   [act_rows]/[act_cost], so estimates and meter readings are directly
+   comparable — per operator, not just per query.  The greedy planner
    (paper Sec. 5) calls [estimate] through a counting wrapper so the
    experiments can report the number of oracle requests. *)
 
@@ -19,192 +24,260 @@ let data_size e = e.cardinality *. e.width
    a * evaluation_cost(q) + b * data_size(q). *)
 let cost ~a ~b e = (a *. e.eval_cost) +. (b *. data_size e)
 
-(* Per-column symbolic info carried through the estimator. *)
-type colinfo = { ndv : float; cwidth : float }
+(* Per-column symbolic info, positional: index i describes tuple slot i
+   of the operator's output, mirroring the resolved expressions.  [lit]
+   marks a column that statically holds one constant (NULL padding,
+   union level tags): a union of branches with *different* constants has
+   ndv = number of constants, and an equality against a known constant
+   is exact. *)
+type colinfo = { ndv : float; cwidth : float; lit : Value.t option }
 
-type relinfo = {
-  card : float;
-  cols : ((string * string) * colinfo) list; (* (alias, column) *)
-}
+let default_col = { ndv = 10.0; cwidth = 8.0; lit = None }
 
-let find_col info (q, c) =
-  match q with
-  | Some a -> List.assoc_opt (a, c) info.cols
-  | None -> (
-      match List.filter (fun ((_, c'), _) -> c' = c) info.cols with
-      | [ (_, ci) ] -> Some ci
-      | _ -> None)
-
-let default_col = { ndv = 10.0; cwidth = 8.0 }
+let col_at (cols : colinfo array) i =
+  if i >= 0 && i < Array.length cols then cols.(i) else default_col
 
 let sel_of_cmp = function
   | Expr.Eq -> `Eq
   | Expr.Neq -> `Other
   | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge -> `Range
 
-(* Selectivity of a predicate against the combined column info. *)
-let rec selectivity info (e : Expr.t) : float =
+(* Selectivity of a resolved predicate against positional column info. *)
+let rec selectivity cols (e : Expr.resolved) : float =
   match e with
-  | Expr.Lit (Value.Bool true) -> 1.0
-  | Expr.Lit (Value.Bool false) -> 0.0
-  | Expr.And (x, y) -> selectivity info x *. selectivity info y
-  | Expr.Or (x, y) ->
-      let sx = selectivity info x and sy = selectivity info y in
+  | Expr.R_lit (Value.Bool true) -> 1.0
+  | Expr.R_lit _ -> 0.0 (* only Bool true passes WHERE semantics *)
+  | Expr.R_and (x, y) -> selectivity cols x *. selectivity cols y
+  | Expr.R_or (x, y) ->
+      let sx = selectivity cols x and sy = selectivity cols y in
       sx +. sy -. (sx *. sy)
-  | Expr.Not x -> 1.0 -. selectivity info x
-  | Expr.Is_null _ -> 0.1
-  | Expr.Is_not_null _ -> 0.9
-  | Expr.Cmp (op, Expr.Col (qa, na), Expr.Col (qb, nb)) -> (
-      let ca = Option.value ~default:default_col (find_col info (qa, na)) in
-      let cb = Option.value ~default:default_col (find_col info (qb, nb)) in
+  | Expr.R_not x -> 1.0 -. selectivity cols x
+  | Expr.R_is_null _ -> 0.1
+  | Expr.R_is_not_null _ -> 0.9
+  | Expr.R_cmp (op, Expr.R_col i, Expr.R_col j) -> (
+      let ca = col_at cols i and cb = col_at cols j in
       match sel_of_cmp op with
       | `Eq -> 1.0 /. Float.max 1.0 (Float.max ca.ndv cb.ndv)
       | `Range -> 1.0 /. 3.0
       | `Other -> 0.9)
-  | Expr.Cmp (op, Expr.Col (qa, na), Expr.Lit _)
-  | Expr.Cmp (op, Expr.Lit _, Expr.Col (qa, na)) -> (
-      let ca = Option.value ~default:default_col (find_col info (qa, na)) in
-      match sel_of_cmp op with
-      | `Eq -> 1.0 /. Float.max 1.0 ca.ndv
-      | `Range -> 1.0 /. 3.0
-      | `Other -> 0.9)
-  | Expr.Cmp _ -> 0.5
-  | Expr.Lit _ | Expr.Col _ | Expr.Arith _ -> 1.0
+  | Expr.R_cmp (op, Expr.R_col i, Expr.R_lit v)
+  | Expr.R_cmp (op, Expr.R_lit v, Expr.R_col i) -> (
+      let ca = col_at cols i in
+      match (sel_of_cmp op, ca.lit) with
+      | `Eq, Some w -> if v = w then 1.0 else 0.0
+      | `Eq, None -> 1.0 /. Float.max 1.0 ca.ndv
+      | `Range, _ -> 1.0 /. 3.0
+      | `Other, _ -> 0.9)
+  | Expr.R_cmp _ -> 0.5
+  | Expr.R_col _ | Expr.R_arith _ -> 1.0
+
+(* Width / distinct-count of a projection item. *)
+let ewidth cols (e : Expr.resolved) =
+  match e with
+  | Expr.R_col i -> (col_at cols i).cwidth
+  | Expr.R_lit v -> float_of_int (Value.wire_size v)
+  | _ -> default_col.cwidth
+
+let endv cols (e : Expr.resolved) =
+  match e with
+  | Expr.R_col i -> (col_at cols i).ndv
+  | Expr.R_lit _ -> 1.0
+  | _ -> default_col.ndv
+
+let elit cols (e : Expr.resolved) =
+  match e with
+  | Expr.R_col i -> (col_at cols i).lit
+  | Expr.R_lit v -> Some v
+  | _ -> None
 
 let log2 x = if x <= 2.0 then 1.0 else Float.log x /. Float.log 2.0
 
-(* Estimation state threads an accumulated evaluation cost. *)
-type acc = { mutable total : float }
+(* Node-level info threaded through the walk.  [bytes] is the total
+   charged wire bytes of the node's output — what a downstream sort
+   will pay — which tracks the emission mask, not the full width. *)
+type ninfo = { card : float; cols : colinfo array; bytes : float }
 
-let rec info_of_table_ref stats db acc (r : Sql.table_ref) : relinfo =
-  match r with
-  | Sql.Table { name; alias } ->
-      let ts = Stats.table_exn stats name in
-      let card = float_of_int ts.row_count in
-      acc.total <- acc.total +. card;
-      (* scan cost *)
-      {
-        card;
-        cols =
-          List.map
-            (fun (c, (cs : Stats.column_stats)) ->
-              ( (alias, c),
-                { ndv = float_of_int cs.distinct; cwidth = cs.avg_width } ))
-            ts.columns;
-      }
-  | Sql.Derived { query; alias } ->
-      let e, info = estimate_query stats db acc query in
-      {
-        card = e.cardinality;
-        cols = List.map (fun ((_, c), ci) -> ((alias, c), ci)) info.cols;
-      }
-  | Sql.Join { left; kind; right; on } ->
-      let li = info_of_table_ref stats db acc left in
-      let ri = info_of_table_ref stats db acc right in
-      let combined = { card = li.card *. ri.card; cols = li.cols @ ri.cols } in
-      let sel = selectivity combined on in
-      let inner = Float.max 1.0 (combined.card *. sel) in
-      let card =
-        match kind with
-        | Sql.Inner -> inner
-        | Sql.Left_outer -> Float.max inner li.card
-      in
-      (* hash join: read both inputs, emit output *)
-      acc.total <- acc.total +. li.card +. ri.card +. card;
-      { card; cols = combined.cols }
+module P = Physical
 
-and info_of_select stats db acc (s : Sql.select) : relinfo =
-  (* Mirror the executor's comma-join strategy: conjuncts are applied as
-     soon as their columns are available, so intermediate cardinalities
-     (and the join work charged for them) reflect eager filtering rather
-     than cross products. *)
-  let conjs = match s.where with None -> [] | Some w -> Expr.conjuncts w in
-  let applicable info c =
-    List.for_all (fun qc -> find_col info qc <> None) (Expr.columns c)
-  in
-  let step (left, pending) r =
-    let ri = info_of_table_ref stats db acc r in
-    let combined = { card = left.card *. ri.card; cols = left.cols @ ri.cols } in
-    let now, later = List.partition (applicable combined) pending in
-    let sel =
-      List.fold_left (fun s c -> s *. selectivity combined c) 1.0 now
+(* Expected join probes: for each ON disjunct the hash table hands back
+   the right rows equal on every key pair, so candidates shrink by
+   1/max(ndv) per pair; a keyless disjunct degrades the whole join to
+   nested-loop over the full cross product. *)
+let probe_estimate (l : ninfo) (r : ninfo) (info : P.join_info) =
+  match info.algo with
+  | P.Nested_loop -> l.card *. r.card
+  | P.Hash_join ->
+      List.fold_left
+        (fun acc (lk, rk) ->
+          let s = ref 1.0 in
+          Array.iteri
+            (fun idx li ->
+              let nl = (col_at l.cols li).ndv
+              and nr = (col_at r.cols rk.(idx)).ndv in
+              s := !s /. Float.max 1.0 (Float.max nl nr))
+            lk;
+          acc +. (l.card *. r.card *. !s))
+        0.0 info.disjuncts
+
+(* Walk the plan bottom-up, mirroring the executor's charges operator
+   for operator (weights w_scan=1, w_probe=1, w_emit=2, w_sort=4, byte
+   charges divided by [byte_div]).  Side effect: annotates every node's
+   [est_rows]/[est_cost] (and sorts' [est_spills]). *)
+let annotate ?(profile = Executor.default_profile) stats (p : P.plan) :
+    estimate =
+  let bdiv = float_of_int profile.Executor.byte_div in
+  let buffer = float_of_int profile.Executor.sort_buffer in
+  let total = ref 0.0 in
+  let rec go (n : P.node) : ninfo =
+    let info =
+      match n.P.shape with
+      | P.Scan { table; col_names; _ } ->
+          let ts = Stats.table_exn stats table in
+          let card = float_of_int ts.Stats.row_count in
+          let c0 = !total in
+          total := !total +. card;
+          (* w_scan = 1 per row *)
+          n.P.est_cost <- !total -. c0;
+          let cols =
+            Array.map
+              (fun c ->
+                match List.assoc_opt c ts.Stats.columns with
+                | Some (cs : Stats.column_stats) ->
+                    {
+                      ndv = float_of_int cs.distinct;
+                      cwidth = cs.avg_width;
+                      lit = None;
+                    }
+                | None -> default_col)
+              col_names
+          in
+          { card; cols; bytes = 0.0 }
+      | P.Dual ->
+          n.P.est_cost <- 0.0;
+          { card = 1.0; cols = [||]; bytes = 0.0 }
+      | P.Filter { input; pred; charged; _ } ->
+          let i = go input in
+          let c0 = !total in
+          let sel = selectivity i.cols pred in
+          let card = Float.max 1.0 (i.card *. sel) in
+          (* survivors are re-emitted (w_emit = 2) unless the predicate
+             was relocated from an ON condition the interpreter
+             evaluated for free *)
+          if charged then total := !total +. (2.0 *. card);
+          n.P.est_cost <- !total -. c0;
+          { card; cols = i.cols; bytes = i.bytes *. sel }
+      | P.Project { input; items; charged; _ } ->
+          let i = go input in
+          let c0 = !total in
+          let card = i.card in
+          let charged_width = ref 0.0 in
+          Array.iteri
+            (fun k e ->
+              if charged.(k) then
+                charged_width := !charged_width +. ewidth i.cols e)
+            items;
+          (* charge_emit_bytes: w_emit plus masked bytes per row *)
+          total := !total +. (card *. (2.0 +. (!charged_width /. bdiv)));
+          n.P.est_cost <- !total -. c0;
+          let cols =
+            Array.map
+              (fun e ->
+                {
+                  ndv = Float.min (endv i.cols e) card;
+                  cwidth = ewidth i.cols e;
+                  lit = elit i.cols e;
+                })
+              items
+          in
+          { card; cols; bytes = card *. !charged_width }
+      | P.Join { left; right; info = ji } ->
+          let l = go left in
+          let r = go right in
+          let c0 = !total in
+          let cols = Array.append l.cols r.cols in
+          let sel = selectivity cols ji.on in
+          let inner = Float.max 1.0 (l.card *. r.card *. sel) in
+          let card =
+            match ji.kind with
+            | Sql.Inner -> inner
+            | Sql.Left_outer -> Float.max inner l.card
+          in
+          let width = Array.fold_left (fun w c -> w +. c.cwidth) 0.0 cols in
+          (* probes (w_probe = 1) plus full-width emission of each
+             joined row, exactly like charge_emit_row *)
+          total :=
+            !total
+            +. probe_estimate l r ji
+            +. (card *. (2.0 +. (width /. bdiv)));
+          n.P.est_cost <- !total -. c0;
+          { card; cols; bytes = 0.0 }
+      | P.Union ns -> (
+          let infos = List.map go ns in
+          n.P.est_cost <- 0.0;
+          match infos with
+          | [] -> { card = 0.0; cols = [||]; bytes = 0.0 }
+          | first :: rest ->
+              List.fold_left
+                (fun acc i ->
+                  {
+                    card = acc.card +. i.card;
+                    cols =
+                      Array.mapi
+                        (fun k c ->
+                          let c' = col_at i.cols k in
+                          (* branches are variants of the same entities
+                             (outer-union encoding), so key domains
+                             overlap: max, not sum.  Columns that are
+                             per-branch constants (level tags, NULL
+                             pads) are the exception — each distinct
+                             constant adds one value. *)
+                          let lit, ndv =
+                            match (c.lit, c'.lit) with
+                            | Some a, Some b when a = b ->
+                                (Some a, Float.max c.ndv c'.ndv)
+                            | Some _, Some _ -> (None, c.ndv +. c'.ndv)
+                            | _ -> (None, Float.max c.ndv c'.ndv)
+                          in
+                          {
+                            ndv;
+                            cwidth = Float.max c.cwidth c'.cwidth;
+                            lit;
+                          })
+                        acc.cols;
+                    bytes = acc.bytes +. i.bytes;
+                  })
+                first rest)
+      | P.Derived { input; _ } ->
+          let i = go input in
+          n.P.est_cost <- 0.0;
+          i
+      | P.Sort { input; _ } ->
+          let i = go input in
+          let c0 = !total in
+          (* w_sort = 4 per row x comparison depth *)
+          total := !total +. (4.0 *. i.card *. Float.max 1.0 (log2 i.card));
+          let spills =
+            if i.bytes > buffer then
+              int_of_float (Float.max 1.0 (log2 (i.bytes /. buffer)))
+            else 0
+          in
+          if spills > 0 then
+            total := !total +. (float_of_int spills *. i.bytes /. bdiv);
+          (match n.P.shape with
+          | P.Sort s -> s.est_spills <- spills
+          | _ -> ());
+          n.P.est_cost <- !total -. c0;
+          i
     in
-    let card = Float.max 1.0 (combined.card *. sel) in
-    (* charge a hash-join pass: read both inputs, emit the output *)
-    if left.cols <> [] then
-      acc.total <- acc.total +. left.card +. ri.card +. card;
-    ({ combined with card }, later)
+    n.P.est_rows <- info.card;
+    info
   in
-  let base, leftover =
-    List.fold_left step ({ card = 1.0; cols = [] }, conjs) s.from
-  in
-  let sel =
-    List.fold_left (fun s c -> s *. selectivity base c) 1.0 leftover
-  in
-  let card = Float.max 1.0 (base.card *. sel) in
-  acc.total <- acc.total +. card;
-  (* emission *)
-  let cols =
-    List.map
-      (fun (it : Sql.select_item) ->
-        let ci =
-          match it.expr with
-          | Expr.Col (q, c) ->
-              Option.value ~default:default_col (find_col base (q, c))
-          | Expr.Lit v ->
-              { ndv = 1.0; cwidth = float_of_int (Value.wire_size v) }
-          | _ -> default_col
-        in
-        (("", it.alias), { ci with ndv = Float.min ci.ndv card }))
-      s.items
-  in
-  { card; cols }
-
-and info_of_body stats db acc (b : Sql.body) : relinfo =
-  match b with
-  | Sql.Select s -> info_of_select stats db acc s
-  | Sql.Union_all (x, y) ->
-      let ix = info_of_body stats db acc x in
-      let iy = info_of_body stats db acc y in
-      let cols =
-        List.map2
-          (fun (k, cx) (_, cy) ->
-            ( k,
-              {
-                ndv = cx.ndv +. cy.ndv;
-                cwidth = Float.max cx.cwidth cy.cwidth;
-              } ))
-          ix.cols iy.cols
-      in
-      { card = ix.card +. iy.card; cols }
-
-and estimate_query ?(profile = Executor.default_profile) stats db acc
-    (q : Sql.query) : estimate * relinfo =
-  let info = info_of_body stats db acc q.body in
-  let width =
-    List.fold_left (fun w (_, ci) -> w +. ci.cwidth) 0.0 info.cols
-  in
-  (* width-sensitive emission, mirroring Executor.charge_emit_row *)
-  acc.total <-
-    acc.total +. (info.card *. width /. float_of_int profile.Executor.byte_div);
-  (match q.order_by with
-  | [] -> ()
-  | _ ->
-      acc.total <- acc.total +. (info.card *. log2 info.card);
-      (* external-sort spill, mirroring Executor.charge_sort *)
-      let bytes = info.card *. width in
-      let buffer = float_of_int profile.Executor.sort_buffer in
-      if bytes > buffer then begin
-        let passes = Float.max 1.0 (log2 (bytes /. buffer)) in
-        acc.total <-
-          acc.total
-          +. (passes *. bytes /. float_of_int profile.Executor.byte_div)
-      end);
-  ({ cardinality = info.card; eval_cost = acc.total; width }, info)
+  let root = go p.P.root in
+  let width = Array.fold_left (fun w c -> w +. c.cwidth) 0.0 root.cols in
+  { cardinality = root.card; eval_cost = !total; width }
 
 let estimate ?profile stats db (q : Sql.query) : estimate =
-  let acc = { total = 0.0 } in
-  fst (estimate_query ?profile stats db acc q)
+  annotate ?profile stats (P.plan_of db q)
 
 (* A counting oracle: the experiments of Sec. 5.1 report how many
    estimate requests the greedy planner issues. *)

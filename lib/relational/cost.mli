@@ -1,12 +1,14 @@
 (** Cost / cardinality estimation — the planner's oracle.
 
-    System-R style estimates over {!Stats}: equality selectivity
-    [1/max(ndv)], range selectivity [1/3], independence across conjuncts;
-    scans, hash-join passes and sorts are charged into [eval_cost];
-    [data_size] is estimated width × cardinality.  The paper's greedy
-    planner uses exactly this interface: "The RDBMS serves as an oracle,
-    providing the values for the functions evaluation_cost and
-    cardinality" (Sec. 5). *)
+    System-R style estimates over {!Stats} (equality selectivity
+    [1/max(ndv)], range selectivity [1/3], independence across
+    conjuncts), computed by walking the {!Physical.plan} the engine
+    actually runs: the same operator tree, join algorithms and
+    narrow-emission masks.  [eval_cost] mirrors the executor's work
+    meter operator for operator; [data_size] is estimated width ×
+    cardinality.  The paper's greedy planner uses exactly this
+    interface: "The RDBMS serves as an oracle, providing the values for
+    the functions evaluation_cost and cardinality" (Sec. 5). *)
 
 type estimate = {
   cardinality : float;
@@ -20,8 +22,16 @@ val data_size : estimate -> float
 val cost : a:float -> b:float -> estimate -> float
 (** The paper's linear combination [a·eval_cost + b·data_size]. *)
 
+val annotate :
+  ?profile:Executor.profile -> Stats.t -> Physical.plan -> estimate
+(** Prices a physical plan, filling every node's [est_rows]/[est_cost]
+    (and [est_spills] on sorts) with the same per-operator deltas the
+    executor records as [act_rows]/[act_cost] — the figures surfaced by
+    [--explain] and the [plan.physical] obs spans. *)
+
 val estimate :
   ?profile:Executor.profile -> Stats.t -> Database.t -> Sql.query -> estimate
+(** [annotate stats (Physical.plan_of db q)]. *)
 
 (** {1 Counting oracle}
 

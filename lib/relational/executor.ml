@@ -1,19 +1,30 @@
 (* Query execution.
 
-   The engine interprets the SQL AST directly: hash joins where the ON /
-   WHERE conditions provide column equalities (including OR-expansion for
-   the disjunctive ON conditions that unified outer-join plans produce),
-   nested loops otherwise, greedy connected-join ordering for comma FROM
-   lists, and stable multi-key sorting.
+   The engine runs physical plans: [run]/[run_cursor] lower the SQL AST
+   into the logical algebra (name resolution done once, greedy
+   connected-join ordering fixed at plan time), rewrite it (predicate
+   pushdown, constant folding, projection pruning), convert it to a
+   {!Physical.plan} (hash joins where the ON disjuncts provide column
+   equalities — including the OR-expansion the unified outer-join plans
+   need — nested loops otherwise), and interpret that plan.
 
    Execution is metered: every row scanned, probed, emitted or sorted
-   charges a work counter.  The counter serves two purposes: it implements
-   the experiment timeout (the paper killed sub-queries after five
-   minutes), and it provides a deterministic "simulated time" that makes
-   the experiment output reproducible across machines. *)
+   charges a work counter.  The counter serves two purposes: it
+   implements the experiment timeout (the paper killed sub-queries after
+   five minutes), and it provides a deterministic "simulated time" that
+   makes the experiment output reproducible across machines.  The
+   physical path charges exactly like the seed interpreter at every
+   operator, except that rewrites may only lower the bill: statically
+   literal output columns (NULL padding, level constants) skip the
+   per-byte emission charge, and pruned projections shrink intermediate
+   widths.
+
+   The seed interpreter is kept verbatim as [run_legacy]* so the
+   differential tests can assert byte-identical output and
+   never-higher work. *)
 
 exception Timeout
-exception Ambiguous_column of string
+exception Ambiguous_column = Algebra.Ambiguous_column
 
 type stats = {
   mutable scanned : int;       (* rows read from stored tables *)
@@ -67,11 +78,13 @@ let charge ctx field n =
   if ctx.budget > 0 && ctx.st.work > ctx.budget then raise Timeout
 
 (* Width-sensitive emission: a produced row also pays for its bytes. *)
-let charge_emit_row ctx (t : Tuple.t) =
+let charge_emit_bytes ctx bytes =
   charge ctx `Emit 1;
-  let bytes = Tuple.wire_size t in
   ctx.st.work <- ctx.st.work + (bytes / ctx.profile.byte_div);
   if ctx.budget > 0 && ctx.st.work > ctx.budget then raise Timeout
+
+let charge_emit_row ctx (t : Tuple.t) =
+  charge_emit_bytes ctx (Tuple.wire_size t)
 
 (* Sorting [rows] totalling [bytes]: n log n comparisons charged per row,
    plus external merge passes once the sort buffer is exceeded — each
@@ -119,7 +132,30 @@ let lookup (header : header) (q, c) =
 
 let resolver header e = Expr.resolve (lookup header) e
 
-(* --- scans ----------------------------------------------------------- *)
+(* --- shared join machinery -------------------------------------------- *)
+
+module Key = struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i =
+      i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1))
+    in
+    go 0
+
+  let hash k = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+(* ===================================================================== *)
+(* Legacy direct AST interpretation (the seed executor).  Kept only as   *)
+(* the reference implementation for the differential safety-net tests:  *)
+(* the physical path below must match its output byte for byte while    *)
+(* never charging more work.                                            *)
+(* ===================================================================== *)
 
 let scan ctx name alias : rel =
   Obs.Span.with_span "exec.scan" (fun () ->
@@ -139,8 +175,6 @@ let scan ctx name alias : rel =
           (List.map (fun c -> (alias, c)) (Schema.column_names schema))
       in
       { header; tuples = Array.to_list data })
-
-(* --- predicates over a pair of relations ------------------------------ *)
 
 (* Split a predicate into top-level disjuncts; within each disjunct,
    extract the column equalities usable as hash keys between the left
@@ -166,24 +200,6 @@ let equi_keys lh rh e =
   in
   ( Array.of_list (List.map fst pairs),
     Array.of_list (List.map snd pairs) )
-
-(* --- joins ------------------------------------------------------------ *)
-
-module Key = struct
-  type t = Value.t array
-
-  let equal a b =
-    Array.length a = Array.length b
-    &&
-    let rec go i =
-      i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1))
-    in
-    go 0
-
-  let hash k = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
-end
-
-module KeyTbl = Hashtbl.Make (Key)
 
 (* Generic hash-based join with OR-expansion.  Each disjunct of the ON
    condition that has column equalities gets a hash table on the right
@@ -279,8 +295,6 @@ let join ctx kind (left : rel) (right : rel) (on : Expr.t) : rel =
     Obs.Metrics.observe "exec.join.out_rows" (float_of_int (List.length !out))
   end;
   { header; tuples = List.rev !out })
-
-(* --- FROM list: greedy connected ordering ----------------------------- *)
 
 (* Joining the comma list left to right with the WHERE conjuncts that
    become applicable; pick the next table that is connected to the current
@@ -424,9 +438,8 @@ and eval_body ctx (b : Sql.body) : rel =
       { ra with tuples = ra.tuples @ rb.tuples }
 
 (* Evaluate a full query down to its sorted output rows without wrapping
-   them in a [Relation]: shared by the materializing ([eval_query]) and
-   cursor ([run_cursor_with_stats]) entry points, so both charge exactly
-   the same work. *)
+   them in a [Relation]: shared by the materializing and cursor legacy
+   entry points, so both charge exactly the same work. *)
 and eval_sorted ctx (q : Sql.query) : string array * Tuple.t list =
   let result = eval_body ctx q.body in
   let cols = Array.map snd result.header in
@@ -486,6 +499,220 @@ and eval_query ctx (q : Sql.query) : Relation.t =
   let cols, tuples = eval_sorted ctx q in
   Relation.create cols tuples
 
+(* ===================================================================== *)
+(* Physical-plan execution.  Charges mirror the legacy interpreter       *)
+(* operator for operator; only the rewriter-granted discounts differ     *)
+(* (narrow emission masks, pruned widths, uncharged relocated ON         *)
+(* predicates).                                                          *)
+(* ===================================================================== *)
+
+module P = Physical
+
+let masked_size (mask : bool array) (t : Tuple.t) =
+  let s = ref 0 in
+  Array.iteri (fun i v -> if mask.(i) then s := !s + Value.wire_size v) t;
+  !s
+
+(* Every node returns (charged_bytes, tuple) pairs: the byte figure is
+   what emission charged for the row and what a downstream sort will
+   charge again — full wire size everywhere except under an output
+   projection's literal-column mask. *)
+let rec exec_pairs ctx (n : P.node) : (int * Tuple.t) list =
+  let pairs =
+    match n.P.shape with
+    | P.Scan { table; cols; _ } ->
+        Obs.Span.with_span "exec.scan" (fun () ->
+            let data = Database.raw_data ctx.db table in
+            let w0 = ctx.st.work in
+            charge ctx `Scan (Array.length data);
+            n.P.act_cost <- ctx.st.work - w0;
+            if Obs.Span.tracing () then begin
+              Obs.Span.add_list
+                [
+                  Obs.Attr.string "table" table;
+                  Obs.Attr.int "rows" (Array.length data);
+                ];
+              Obs.Metrics.incr ~by:(Array.length data) "exec.rows_scanned"
+            end;
+            let arity = Schema.arity (Database.schema ctx.db table) in
+            let rows =
+              if Array.length cols = arity then Array.to_list data
+              else List.map (Tuple.project cols) (Array.to_list data)
+            in
+            (* scan outputs never feed a sort directly (a projection
+               always intervenes), so their byte figure is unused *)
+            List.map (fun t -> (0, t)) rows)
+    | P.Dual ->
+        n.P.act_cost <- 0;
+        [ (0, [||]) ]
+    | P.Filter { input; pred; charged; _ } ->
+        let rows = exec_pairs ctx input in
+        let w0 = ctx.st.work in
+        let out = List.filter (fun (_, t) -> Expr.eval_pred pred t) rows in
+        if charged then charge ctx `Emit (List.length out);
+        n.P.act_cost <- ctx.st.work - w0;
+        out
+    | P.Project { input; items; charged; _ } ->
+        let rows = exec_pairs ctx input in
+        let w0 = ctx.st.work in
+        let full = Array.for_all (fun c -> c) charged in
+        let out =
+          List.map
+            (fun (_, row) ->
+              let t = Array.map (fun e -> Expr.eval e row) items in
+              let bytes =
+                if full then Tuple.wire_size t else masked_size charged t
+              in
+              charge_emit_bytes ctx bytes;
+              (bytes, t))
+            rows
+        in
+        n.P.act_cost <- ctx.st.work - w0;
+        out
+    | P.Join { left; right; info } ->
+        let l = exec_pairs ctx left in
+        let r = exec_pairs ctx right in
+        Obs.Span.with_span "exec.join" (fun () ->
+            exec_join ctx n info (List.map snd l) (List.map snd r))
+    | P.Union ns -> List.concat_map (fun c -> exec_pairs ctx c) ns
+    | P.Derived { input; _ } -> exec_pairs ctx input
+    | P.Sort { input; keys; _ } ->
+        let pairs = exec_pairs ctx input in
+        exec_sort ctx n keys pairs
+  in
+  n.P.act_rows <- List.length pairs;
+  pairs
+
+and exec_join ctx (n : P.node) (info : P.join_info) left right :
+    (int * Tuple.t) list =
+  let work0 = ctx.st.work in
+  let probed0 = ctx.st.probed and emitted0 = ctx.st.emitted in
+  let right_arr = Array.of_list right in
+  let nright = Array.length right_arr in
+  let plans =
+    List.map
+      (fun (lk, rk) ->
+        if Array.length lk = 0 then `Full
+        else begin
+          let tbl = KeyTbl.create (max 16 nright) in
+          Array.iteri
+            (fun idx row ->
+              let k = Tuple.project rk row in
+              let prev = try KeyTbl.find tbl k with Not_found -> [] in
+              KeyTbl.replace tbl k (idx :: prev))
+            right_arr;
+          `Hash (lk, tbl)
+        end)
+      info.P.disjuncts
+  in
+  let needs_full =
+    List.exists (function `Full -> true | `Hash _ -> false) plans
+  in
+  let null_pad = Tuple.all_null info.P.right_width in
+  let on = info.P.on in
+  let out = ref [] in
+  let candidates = Hashtbl.create 64 in
+  List.iter
+    (fun lrow ->
+      Hashtbl.reset candidates;
+      if needs_full then
+        for i = 0 to nright - 1 do
+          Hashtbl.replace candidates i ()
+        done
+      else
+        List.iter
+          (function
+            | `Full -> ()
+            | `Hash (lk, tbl) -> (
+                let k = Tuple.project lk lrow in
+                match KeyTbl.find_opt tbl k with
+                | None -> ()
+                | Some idxs ->
+                    List.iter (fun i -> Hashtbl.replace candidates i ()) idxs))
+          plans;
+      let matched = ref false in
+      (* Iterate in ascending right-row order for deterministic output. *)
+      let idxs =
+        Hashtbl.fold (fun i () acc -> i :: acc) candidates []
+        |> List.sort compare
+      in
+      charge ctx `Probe (List.length idxs);
+      List.iter
+        (fun i ->
+          let joined = Tuple.concat lrow right_arr.(i) in
+          if Expr.eval_pred on joined then begin
+            matched := true;
+            charge_emit_row ctx joined;
+            out := joined :: !out
+          end)
+        idxs;
+      if (not !matched) && info.P.kind = Sql.Left_outer then begin
+        let padded = Tuple.concat lrow null_pad in
+        charge_emit_row ctx padded;
+        out := padded :: !out
+      end)
+    left;
+  n.P.act_cost <- ctx.st.work - work0;
+  if Obs.Span.tracing () then begin
+    Obs.Span.set_name
+      (if needs_full then "exec.nested-loop" else "exec.hash-join");
+    Obs.Span.add_list
+      [
+        Obs.Attr.string "kind"
+          (match info.P.kind with
+          | Sql.Inner -> "inner"
+          | Sql.Left_outer -> "left-outer");
+        Obs.Attr.int "left_rows" (List.length left);
+        Obs.Attr.int "right_rows" nright;
+        Obs.Attr.int "out_rows" (List.length !out);
+        Obs.Attr.int "probed" (ctx.st.probed - probed0);
+        Obs.Attr.int "emitted" (ctx.st.emitted - emitted0);
+        Obs.Attr.int "work" (ctx.st.work - work0);
+      ];
+    Obs.Metrics.incr ~by:(ctx.st.probed - probed0) "exec.rows_probed";
+    Obs.Metrics.observe "exec.join.out_rows" (float_of_int (List.length !out))
+  end;
+  List.rev_map (fun t -> (0, t)) !out
+
+and exec_sort ctx (n : P.node) keys (pairs : (int * Tuple.t) list) :
+    (int * Tuple.t) list =
+  Obs.Span.with_span "exec.sort" (fun () ->
+      let cmp (_, a) (_, b) =
+        let rec go = function
+          | [] -> 0
+          | (r, d) :: rest ->
+              let c = Value.compare_total (Expr.eval r a) (Expr.eval r b) in
+              let c = if d = Sql.Desc then -c else c in
+              if c <> 0 then c else go rest
+        in
+        go keys
+      in
+      let bytes = List.fold_left (fun acc (b, _) -> acc + b) 0 pairs in
+      let spill0 = ctx.st.spill_passes and work0 = ctx.st.work in
+      charge_sort ctx (List.length pairs) bytes;
+      (match n.P.shape with
+      | P.Sort s -> s.act_spills <- ctx.st.spill_passes - spill0
+      | _ -> ());
+      n.P.act_cost <- ctx.st.work - work0;
+      if Obs.Span.tracing () then begin
+        let spills = ctx.st.spill_passes - spill0 in
+        Obs.Span.add_list
+          [
+            Obs.Attr.int "rows" (List.length pairs);
+            Obs.Attr.int "bytes" bytes;
+            Obs.Attr.int "spill_passes" spills;
+            Obs.Attr.int "work" (ctx.st.work - work0);
+          ];
+        Obs.Metrics.observe "exec.sort.bytes" (float_of_int bytes);
+        if spills > 0 then Obs.Metrics.incr ~by:spills "exec.spill_passes"
+      end;
+      List.stable_sort cmp pairs)
+
+let exec_plan ctx (p : P.plan) : string array * Tuple.t list =
+  (p.P.cols, List.map snd (exec_pairs ctx p.P.root))
+
+(* --- entry points ------------------------------------------------------ *)
+
 let query_span_attrs ctx rows =
   if Obs.Span.tracing () then
     Obs.Span.add_list
@@ -499,22 +726,64 @@ let query_span_attrs ctx rows =
         Obs.Attr.int "work" ctx.st.work;
       ]
 
-let run_with_stats ?(budget = 0) ?(profile = default_profile) db (q : Sql.query) =
+let run_plan_with_stats ?(budget = 0) ?(profile = default_profile) db
+    (p : P.plan) =
   Obs.Span.with_span "exec.query" (fun () ->
       let ctx = { db; st = new_stats (); budget; profile } in
-      let rel = eval_query ctx q in
-      query_span_attrs ctx (Relation.cardinality rel);
-      (rel, ctx.st))
+      let cols, tuples = exec_plan ctx p in
+      query_span_attrs ctx (List.length tuples);
+      (Relation.create cols tuples, ctx.st))
+
+let run_plan ?budget ?profile db p =
+  fst (run_plan_with_stats ?budget ?profile db p)
+
+let run_plan_cursor_with_stats ?(budget = 0) ?(profile = default_profile) db
+    (p : P.plan) =
+  Obs.Span.with_span "exec.query" (fun () ->
+      let ctx = { db; st = new_stats (); budget; profile } in
+      let cols, tuples = exec_plan ctx p in
+      query_span_attrs ctx (List.length tuples);
+      (Cursor.of_list cols tuples, ctx.st))
+
+let run_with_stats ?(budget = 0) ?(profile = default_profile) db (q : Sql.query) =
+  Obs.Span.with_span "exec.query" (fun () ->
+      let plan = P.plan_of db q in
+      let ctx = { db; st = new_stats (); budget; profile } in
+      let cols, tuples = exec_plan ctx plan in
+      query_span_attrs ctx (List.length tuples);
+      (Relation.create cols tuples, ctx.st))
 
 let run ?budget ?profile db q = fst (run_with_stats ?budget ?profile db q)
 
 let run_cursor_with_stats ?(budget = 0) ?(profile = default_profile) db
     (q : Sql.query) =
   Obs.Span.with_span "exec.query" (fun () ->
+      let plan = P.plan_of db q in
       let ctx = { db; st = new_stats (); budget; profile } in
-      let cols, tuples = eval_sorted ctx q in
+      let cols, tuples = exec_plan ctx plan in
       query_span_attrs ctx (List.length tuples);
       (Cursor.of_list cols tuples, ctx.st))
 
 let run_cursor ?budget ?profile db q =
   fst (run_cursor_with_stats ?budget ?profile db q)
+
+(* --- legacy entry points (differential tests only) --------------------- *)
+
+let run_legacy_with_stats ?(budget = 0) ?(profile = default_profile) db
+    (q : Sql.query) =
+  Obs.Span.with_span "exec.query" (fun () ->
+      let ctx = { db; st = new_stats (); budget; profile } in
+      let rel = eval_query ctx q in
+      query_span_attrs ctx (Relation.cardinality rel);
+      (rel, ctx.st))
+
+let run_legacy ?budget ?profile db q =
+  fst (run_legacy_with_stats ?budget ?profile db q)
+
+let run_legacy_cursor_with_stats ?(budget = 0) ?(profile = default_profile) db
+    (q : Sql.query) =
+  Obs.Span.with_span "exec.query" (fun () ->
+      let ctx = { db; st = new_stats (); budget; profile } in
+      let cols, tuples = eval_sorted ctx q in
+      query_span_attrs ctx (List.length tuples);
+      (Cursor.of_list cols tuples, ctx.st))

@@ -1,15 +1,20 @@
 (** Query execution.
 
-    Interprets the SQL AST directly: hash joins where ON/WHERE conditions
-    provide column equalities (with OR-expansion for the disjunctive ON
-    conditions produced by unified outer-join plans), nested loops
-    otherwise, greedy connected-join ordering for comma FROM lists, and
-    stable multi-key sorting under the total value order.
+    Queries run through three layers: {!Algebra.lower} (name resolution
+    and greedy connected-join ordering, done once), {!Algebra.rewrite}
+    (predicate pushdown, constant folding, projection pruning), and
+    {!Physical.plan_of} (explicit hash-join vs nested-loop choice from
+    the ON disjuncts' equi-keys, with OR-expansion for the disjunctive
+    ON conditions produced by unified outer-join plans).  This module
+    interprets the resulting physical plan with stable multi-key sorting
+    under the total value order.
 
     Execution is metered in abstract work units.  The meter implements the
     experiment timeout (the paper killed sub-queries after five minutes)
     and provides a deterministic "simulated time" for reproducible
-    experiment output. *)
+    experiment output.  The physical path charges exactly like the seed
+    interpreter — kept below as the [run_legacy] entry points — except
+    that rewrites may only lower the bill. *)
 
 exception Timeout
 (** Raised when the work budget is exhausted. *)
@@ -55,4 +60,42 @@ val run_cursor :
     sort. *)
 
 val run_cursor_with_stats :
+  ?budget:int -> ?profile:profile -> Database.t -> Sql.query -> Cursor.t * stats
+
+(** {1 Pre-planned execution}
+
+    For callers that build the {!Physical.plan} themselves (to annotate
+    it with cost estimates or print it): execution fills each node's
+    [act_rows]/[act_cost] fields. *)
+
+val run_plan :
+  ?budget:int -> ?profile:profile -> Database.t -> Physical.plan -> Relation.t
+
+val run_plan_with_stats :
+  ?budget:int ->
+  ?profile:profile ->
+  Database.t ->
+  Physical.plan ->
+  Relation.t * stats
+
+val run_plan_cursor_with_stats :
+  ?budget:int ->
+  ?profile:profile ->
+  Database.t ->
+  Physical.plan ->
+  Cursor.t * stats
+
+(** {1 Legacy interpreter}
+
+    The seed executor, interpreting the SQL AST directly.  Kept solely as
+    the reference for the differential safety-net tests; new code should
+    use the plan-based entry points above. *)
+
+val run_legacy :
+  ?budget:int -> ?profile:profile -> Database.t -> Sql.query -> Relation.t
+
+val run_legacy_with_stats :
+  ?budget:int -> ?profile:profile -> Database.t -> Sql.query -> Relation.t * stats
+
+val run_legacy_cursor_with_stats :
   ?budget:int -> ?profile:profile -> Database.t -> Sql.query -> Cursor.t * stats

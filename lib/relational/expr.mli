@@ -46,13 +46,31 @@ val pp : Format.formatter -> t -> unit
 
 (** {1 Resolution and evaluation} *)
 
-type resolved
+type resolved =
+  | R_col of int
+  | R_lit of Value.t
+  | R_cmp of cmp * resolved * resolved
+  | R_arith of arith * resolved * resolved
+  | R_and of resolved * resolved
+  | R_or of resolved * resolved
+  | R_not of resolved
+  | R_is_null of resolved
+  | R_is_not_null of resolved
+      (** Position-resolved expression: column references are tuple indices.
+          Exposed concretely so the algebra/physical-plan layers can build,
+          rewrite, and cost these without re-resolving names. *)
 
 exception Unresolved_column of string
 
 val resolve : (string option * string -> int option) -> t -> resolved
 (** [resolve lookup e] maps every column reference to a tuple position.
     Raises {!Unresolved_column} when [lookup] returns [None]. *)
+
+val apply_cmp : cmp -> int -> bool
+(** Interprets a comparison operator over a [Value.compare3] result. *)
+
+val apply_arith : arith -> Value.t -> Value.t -> Value.t
+(** Arithmetic with SQL NULL propagation; division by zero yields NULL. *)
 
 val eval : resolved -> Tuple.t -> Value.t
 (** Full evaluation; comparisons involving NULL yield NULL (UNKNOWN). *)

@@ -1,0 +1,322 @@
+(* Physical plans: the executable, priceable form of a query.
+
+   Construction from the logical algebra precomputes everything the
+   interpreter used to derive per execution: join algorithm choice and
+   per-disjunct hash-key positions (the OR-expansion of disjunctive ON
+   conditions), scan projections, and the emission-accounting masks for
+   statically-literal output columns. *)
+
+type algo = Hash_join | Nested_loop
+
+type join_info = {
+  kind : Sql.join_kind;
+  algo : algo;
+  on : Expr.resolved;
+  on_str : string;
+  disjuncts : (int array * int array) list;
+  right_width : int;
+  from_where : bool;
+}
+
+type node = {
+  id : int;
+  mutable est_rows : float;
+  mutable est_cost : float;
+  mutable act_rows : int;
+  mutable act_cost : int;
+  shape : shape;
+}
+
+and shape =
+  | Scan of {
+      table : string;
+      alias : string;
+      cols : int array;
+      col_names : string array;
+    }
+  | Dual
+  | Filter of {
+      input : node;
+      pred : Expr.resolved;
+      pred_str : string;
+      pushed : bool;
+      charged : bool;
+    }
+  | Project of {
+      input : node;
+      items : Expr.resolved array;
+      names : string array;
+      charged : bool array;
+    }
+  | Join of { left : node; right : node; info : join_info }
+  | Union of node list
+  | Sort of {
+      input : node;
+      keys : (Expr.resolved * Sql.dir) list;
+      key_str : string;
+      mutable est_spills : int;
+      mutable act_spills : int;
+    }
+  | Derived of { input : node; alias : string }
+
+type plan = { root : node; cols : string array }
+
+(* Cross-side column equalities of one ON disjunct, as (left, right)
+   key-position pairs — the positional equivalent of the interpreter's
+   [equi_keys] name lookup. *)
+let keys_of la d =
+  let pairs =
+    List.filter_map
+      (fun c ->
+        match c with
+        | Algebra.Cmp (Expr.Eq, Algebra.Col (i, _), Algebra.Col (j, _)) ->
+            if i < la && j >= la then Some (i, j - la)
+            else if j < la && i >= la then Some (j, i - la)
+            else None
+        | _ -> None)
+      (Algebra.conjuncts d)
+  in
+  (Array.of_list (List.map fst pairs), Array.of_list (List.map snd pairs))
+
+let of_algebra (a : Algebra.t) : plan =
+  let counter = ref 0 in
+  let mk shape =
+    incr counter;
+    {
+      id = !counter;
+      est_rows = -1.0;
+      est_cost = -1.0;
+      act_rows = -1;
+      act_cost = -1;
+      shape;
+    }
+  in
+  (* [out]: this node feeds the query's output region directly (through
+     unions/sorts only), so its literal columns are re-padded for free
+     at delivery and skip the byte charge. *)
+  let rec build ~out (a : Algebra.t) : node =
+    match a with
+    | Algebra.Scan { table; alias; cols } ->
+        mk
+          (Scan
+             {
+               table;
+               alias;
+               cols = Array.map fst cols;
+               col_names = Array.map snd cols;
+             })
+    | Algebra.Dual -> mk Dual
+    | Algebra.Filter { input; pred; pushed; charged } ->
+        mk
+          (Filter
+             {
+               input = build ~out:false input;
+               pred = Algebra.to_resolved pred;
+               pred_str = Algebra.expr_to_string pred;
+               pushed;
+               charged;
+             })
+    | Algebra.Project { input; items } ->
+        mk
+          (Project
+             {
+               input = build ~out:false input;
+               items = Array.map (fun (e, _) -> Algebra.to_resolved e) items;
+               names = Array.map snd items;
+               charged =
+                 Array.map
+                   (fun (e, _) -> (not out) || not (Algebra.is_lit e))
+                   items;
+             })
+    | Algebra.Join { left; kind; right; on; from_where } ->
+        let la = Algebra.width left in
+        let right_width = Algebra.width right in
+        let disjuncts = List.map (keys_of la) (Algebra.disjuncts on) in
+        let algo =
+          if List.exists (fun (lk, _) -> Array.length lk = 0) disjuncts then
+            Nested_loop
+          else Hash_join
+        in
+        mk
+          (Join
+             {
+               left = build ~out:false left;
+               right = build ~out:false right;
+               info =
+                 {
+                   kind;
+                   algo;
+                   on = Algebra.to_resolved on;
+                   on_str = Algebra.expr_to_string on;
+                   disjuncts;
+                   right_width;
+                   from_where;
+                 };
+             })
+    | Algebra.Union_all _ ->
+        let rec branches = function
+          | Algebra.Union_all (x, y) -> branches x @ branches y
+          | n -> [ n ]
+        in
+        mk (Union (List.map (build ~out) (branches a)))
+    | Algebra.Derived { input; alias } ->
+        mk (Derived { input = build ~out:false input; alias })
+    | Algebra.Sort { input; keys } ->
+        mk
+          (Sort
+             {
+               input = build ~out input;
+               keys =
+                 List.map (fun (e, d) -> (Algebra.to_resolved e, d)) keys;
+               key_str =
+                 String.concat ", "
+                   (List.map
+                      (fun (e, d) ->
+                        Algebra.expr_to_string e
+                        ^ match d with Sql.Asc -> " asc" | Sql.Desc -> " desc")
+                      keys);
+               est_spills = -1;
+               act_spills = 0;
+             })
+  in
+  let root = build ~out:true a in
+  { root; cols = Array.map snd (Algebra.header a) }
+
+let plan_of db (q : Sql.query) : plan =
+  of_algebra (Algebra.rewrite (Algebra.lower db q))
+
+let algo_name = function
+  | Hash_join -> "hash-join"
+  | Nested_loop -> "nested-loop"
+
+let op_name n =
+  match n.shape with
+  | Scan _ -> "scan"
+  | Dual -> "dual"
+  | Filter _ -> "filter"
+  | Project _ -> "project"
+  | Join { info; _ } -> algo_name info.algo
+  | Union _ -> "union-all"
+  | Sort _ -> "sort"
+  | Derived _ -> "derived"
+
+let iter f (p : plan) =
+  let rec go n =
+    f n;
+    match n.shape with
+    | Scan _ | Dual -> ()
+    | Filter { input; _ }
+    | Project { input; _ }
+    | Sort { input; _ }
+    | Derived { input; _ } ->
+        go input
+    | Join { left; right; _ } ->
+        go left;
+        go right
+    | Union ns -> List.iter go ns
+  in
+  go p.root
+
+let card_str n =
+  let est = if n.est_rows < 0.0 then "?" else Printf.sprintf "%.0f" n.est_rows in
+  let act = if n.act_rows < 0 then "?" else string_of_int n.act_rows in
+  let cost =
+    match (n.est_cost < 0.0, n.act_cost < 0) with
+    | true, true -> ""
+    | e, a ->
+        Printf.sprintf " cost=%s/%s"
+          (if e then "?" else Printf.sprintf "%.0f" n.est_cost)
+          (if a then "?" else string_of_int n.act_cost)
+  in
+  Printf.sprintf "  (rows est=%s act=%s%s)" est act cost
+
+let to_string (p : plan) : string =
+  let b = Buffer.create 512 in
+  let line ind s n =
+    Buffer.add_string b (String.make (ind * 2) ' ');
+    Buffer.add_string b s;
+    Buffer.add_string b (card_str n);
+    Buffer.add_char b '\n'
+  in
+  let rec go ind n =
+    (match n.shape with
+    | Scan { table; alias; cols; _ } ->
+        line ind
+          (Printf.sprintf "scan %s as %s [%d cols]" table alias
+             (Array.length cols))
+          n
+    | Dual -> line ind "dual" n
+    | Filter { pred_str; pushed; charged; _ } ->
+        line ind
+          (Printf.sprintf "filter%s%s %s"
+             (if pushed then "[pushdown]" else "")
+             (if charged then "" else "[uncharged]")
+             pred_str)
+          n
+    | Project { items; charged; _ } ->
+        let ncharged =
+          Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 charged
+        in
+        line ind
+          (Printf.sprintf "project [%d cols, %d charged]" (Array.length items)
+             ncharged)
+          n
+    | Join { info; _ } ->
+        line ind
+          (Printf.sprintf "%s %s%s on %s" (algo_name info.algo)
+             (match info.kind with
+             | Sql.Inner -> "inner"
+             | Sql.Left_outer -> "left-outer")
+             (if info.from_where then " [pushdown<-where]" else "")
+             info.on_str)
+          n
+    | Union ns -> line ind (Printf.sprintf "union-all [%d branches]" (List.length ns)) n
+    | Sort { key_str; est_spills; act_spills; _ } ->
+        let spill =
+          if est_spills > 0 || act_spills > 0 then
+            Printf.sprintf " spills est=%s act=%d"
+              (if est_spills < 0 then "?" else string_of_int est_spills)
+              act_spills
+          else ""
+        in
+        line ind (Printf.sprintf "sort [%s]%s" key_str spill) n
+    | Derived { alias; _ } -> line ind (Printf.sprintf "derived %s" alias) n);
+    match n.shape with
+    | Scan _ | Dual -> ()
+    | Filter { input; _ }
+    | Project { input; _ }
+    | Sort { input; _ }
+    | Derived { input; _ } ->
+        go (ind + 1) input
+    | Join { left; right; _ } ->
+        go (ind + 1) left;
+        go (ind + 1) right
+    | Union ns -> List.iter (go (ind + 1)) ns
+  in
+  go 0 p.root;
+  Buffer.contents b
+
+let emit_obs_spans (p : plan) =
+  if Obs.Span.tracing () then
+    iter
+      (fun n ->
+        Obs.Span.with_span "plan.physical" (fun () ->
+            Obs.Span.add_list
+              ([
+                 Obs.Attr.int "id" n.id;
+                 Obs.Attr.string "op" (op_name n);
+                 Obs.Attr.string "algorithm" (op_name n);
+                 Obs.Attr.float "est_rows" n.est_rows;
+                 Obs.Attr.int "actual_rows" n.act_rows;
+                 Obs.Attr.float "est_cost" n.est_cost;
+                 Obs.Attr.int "actual_cost" n.act_cost;
+               ]
+              @
+              match n.shape with
+              | Sort { est_spills; act_spills; _ } ->
+                  [
+                    Obs.Attr.int "est_spills" est_spills;
+                    Obs.Attr.int "actual_spills" act_spills;
+                  ]
+              | _ -> [])))
+      p

@@ -19,6 +19,9 @@ type prepared = {
   view : Rxl.view;
   tree : View_tree.t;
   labels : Xmlkit.Dtd.multiplicity array;
+  stats : R.Stats.t Lazy.t;
+      (* forced only when a plan needs cost annotations (tracing,
+         explain), so plain execution never pays the analyze pass *)
 }
 
 let prepare db view =
@@ -32,7 +35,7 @@ let prepare db view =
             Obs.Attr.int "edges" (View_tree.edge_count tree);
             Obs.Attr.int "work" (View_tree.node_count tree);
           ];
-      { db; view; tree; labels })
+      { db; view; tree; labels; stats = lazy (R.Stats.analyze db) })
 
 let prepare_text db text = prepare db (Rxl_parser.parse text)
 
@@ -82,6 +85,7 @@ type stream_exec = {
   se_stream : Sql_gen.stream;
   se_relation : R.Relation.t;
   se_sql : string;
+  se_plan : R.Physical.plan;
   se_stats : R.Executor.stats;
   se_wall_ms : float;
 }
@@ -121,7 +125,10 @@ let now_ms () = Unix.gettimeofday () *. 1000.0
    through the SQL text round-trip, mapping an engine [Timeout] to
    [Plan_timeout] with the stream's position and fragment root, and
    marking the enclosing span so traces show which sub-query blew the
-   budget. *)
+   budget.  The physical plan is built explicitly here (rather than
+   letting the executor plan internally) so it can carry cost
+   annotations and actual row/work figures out to traces and
+   [--explain]. *)
 let run_stream_query ~runner ~print_sql ~budget ~profile (p : prepared) i
     (s : Sql_gen.stream) =
   let text = print_sql s.Sql_gen.query in
@@ -131,9 +138,14 @@ let run_stream_query ~runner ~print_sql ~budget ~profile (p : prepared) i
   in
   (* round-trip through the SQL text interface, as the middleware does *)
   let ast = R.Sql_parser.parse text in
+  let plan = R.Physical.plan_of p.db ast in
+  if Obs.Span.tracing () then
+    (* fill est_rows/est_cost so the plan.physical spans below carry
+       estimated vs actual figures per operator *)
+    ignore (R.Cost.annotate ~profile (Lazy.force p.stats) plan);
   let t0 = now_ms () in
   let result =
-    try runner ~budget ~profile p.db ast
+    try runner ~budget ~profile p.db plan
     with R.Executor.Timeout ->
       let elapsed = now_ms () -. t0 in
       if Obs.Span.tracing () then
@@ -154,7 +166,8 @@ let run_stream_query ~runner ~print_sql ~budget ~profile (p : prepared) i
            })
   in
   let t1 = now_ms () in
-  (text, root_name, result, t1 -. t0)
+  R.Physical.emit_obs_spans plan;
+  (text, root_name, plan, result, t1 -. t0)
 
 let execute ?(style = Sql_gen.Outer_join) ?(reduce = false) ?(budget = 0)
     ?(profile = R.Executor.default_profile) ?(transfer = R.Transfer.default)
@@ -169,10 +182,10 @@ let execute ?(style = Sql_gen.Outer_join) ?(reduce = false) ?(budget = 0)
   in
   let run i (s : Sql_gen.stream) : stream_exec =
     Obs.Span.with_span "execute.stream" (fun () ->
-        let text, root_name, (rel, stats), wall_ms =
+        let text, root_name, phys, (rel, stats), wall_ms =
           run_stream_query
-            ~runner:(fun ~budget ~profile db ast ->
-              R.Executor.run_with_stats ~budget ~profile db ast)
+            ~runner:(fun ~budget ~profile db plan ->
+              R.Executor.run_plan_with_stats ~budget ~profile db plan)
             ~print_sql ~budget ~profile p i s
         in
         Log.debug (fun m ->
@@ -201,6 +214,7 @@ let execute ?(style = Sql_gen.Outer_join) ?(reduce = false) ?(budget = 0)
           se_stream = s;
           se_relation = rel;
           se_sql = text;
+          se_plan = phys;
           se_stats = stats;
           se_wall_ms = wall_ms;
         })
@@ -248,6 +262,52 @@ let document_of p (e : execution) : Xmlkit.Xml.t =
 let xml_string_of p (e : execution) : string =
   Tagger.to_string p.tree e.streams
 
+(* --- explain ----------------------------------------------------------- *)
+
+(* Pretty-print one stream's three representations: the SQL text the
+   middleware ships, the rewritten logical algebra, and the physical
+   plan with its cost annotations (estimates only unless the plan was
+   executed, in which case actual rows/work appear alongside). *)
+let explain_stream (p : prepared) i root_name ~sql (plan : R.Physical.plan)
+    ~logical =
+  ignore (R.Cost.annotate (Lazy.force p.stats) plan);
+  Printf.sprintf
+    "-- stream %d (root %s):\n%s\n\nlogical plan:\n%s\nphysical plan:\n%s" i
+    root_name sql logical
+    (R.Physical.to_string plan)
+
+let root_name_of p (s : Sql_gen.stream) =
+  View_tree.skolem_name
+    (View_tree.node p.tree s.Sql_gen.fragment.Partition.root).View_tree.sfi
+
+let explain ?(style = Sql_gen.Outer_join) ?(reduce = false) (p : prepared)
+    (plan : Partition.t) : string =
+  let opts = options_of p ~style ~reduce in
+  let streams = Sql_gen.streams p.db p.tree plan opts in
+  String.concat "\n\n"
+    (List.mapi
+       (fun i (s : Sql_gen.stream) ->
+         let text = R.Sql_print.to_pretty_string s.Sql_gen.query in
+         (* round-trip through the text interface, exactly like
+            execution, so the explained tree is the executed tree *)
+         let ast = R.Sql_parser.parse (R.Sql_print.to_string s.Sql_gen.query) in
+         let alg = R.Algebra.rewrite (R.Algebra.lower p.db ast) in
+         let phys = R.Physical.of_algebra alg in
+         explain_stream p (i + 1) (root_name_of p s) ~sql:text phys
+           ~logical:(R.Algebra.to_string alg))
+       streams)
+
+let explain_execution (p : prepared) (e : execution) : string =
+  String.concat "\n\n"
+    (List.mapi
+       (fun i (se : stream_exec) ->
+         let ast = R.Sql_parser.parse se.se_sql in
+         let alg = R.Algebra.rewrite (R.Algebra.lower p.db ast) in
+         explain_stream p (i + 1)
+           (root_name_of p se.se_stream)
+           ~sql:se.se_sql se.se_plan ~logical:(R.Algebra.to_string alg))
+       e.per_stream)
+
 (* --- streaming execution ----------------------------------------------- *)
 
 (* Per-stream breakdown of a streaming execution: stats are complete
@@ -257,6 +317,7 @@ type stream_cursor = {
   sc_stream : Sql_gen.stream;
   sc_cursor : R.Cursor.t;
   sc_sql : string;
+  sc_plan : R.Physical.plan;
   sc_stats : R.Executor.stats;
   sc_wall_ms : float;
   sc_rows : int;
@@ -290,10 +351,10 @@ let execute_streaming ?(style = Sql_gen.Outer_join) ?(reduce = false)
   in
   let run i (s : Sql_gen.stream) : stream_cursor =
     Obs.Span.with_span "execute.stream" (fun () ->
-        let text, root_name, (cur, stats), wall_ms =
+        let text, root_name, phys, (cur, stats), wall_ms =
           run_stream_query
-            ~runner:(fun ~budget ~profile db ast ->
-              R.Executor.run_cursor_with_stats ~budget ~profile db ast)
+            ~runner:(fun ~budget ~profile db plan ->
+              R.Executor.run_plan_cursor_with_stats ~budget ~profile db plan)
             ~print_sql ~budget ~profile p i s
         in
         (* Spool the sorted rows out of the heap, accounting rows, bytes
@@ -334,6 +395,7 @@ let execute_streaming ?(style = Sql_gen.Outer_join) ?(reduce = false)
           sc_stream = s;
           sc_cursor = spooled;
           sc_sql = text;
+          sc_plan = phys;
           sc_stats = stats;
           sc_wall_ms = wall_ms;
           sc_rows = !rows;
@@ -369,6 +431,17 @@ let execute_streaming ?(style = Sql_gen.Outer_join) ?(reduce = false)
     s_tuples = tuples;
     s_bytes = bytes;
   })
+
+let explain_streaming (p : prepared) (se : streaming) : string =
+  String.concat "\n\n"
+    (List.mapi
+       (fun i (sc : stream_cursor) ->
+         let ast = R.Sql_parser.parse sc.sc_sql in
+         let alg = R.Algebra.rewrite (R.Algebra.lower p.db ast) in
+         explain_stream p (i + 1)
+           (root_name_of p sc.sc_stream)
+           ~sql:sc.sc_sql sc.sc_plan ~logical:(R.Algebra.to_string alg))
+       se.s_per_stream)
 
 (* --- resilient execution ----------------------------------------------- *)
 
@@ -423,6 +496,9 @@ let execute_resilient ?(style = Sql_gen.Outer_join) ?(reduce = false)
               .View_tree.sfi
         in
         let ast = R.Sql_parser.parse text in
+        (* the backend replans per attempt; this instance only reports
+           the plan shape (est-annotatable, no actuals) *)
+        let phys = R.Physical.plan_of p.db ast in
         let rows = ref 0 and bytes = ref 0 in
         let transfer_ms = ref transfer.R.Transfer.per_stream_overhead in
         let t0 = now_ms () in
@@ -468,6 +544,7 @@ let execute_resilient ?(style = Sql_gen.Outer_join) ?(reduce = false)
                 sc_stream = s;
                 sc_cursor = cur;
                 sc_sql = text;
+                sc_plan = phys;
                 sc_stats = stats;
                 sc_wall_ms = wall_ms;
                 sc_rows = !rows;

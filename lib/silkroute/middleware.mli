@@ -13,6 +13,9 @@ type prepared = {
   view : Rxl.view;
   tree : View_tree.t;
   labels : Xmlkit.Dtd.multiplicity array;
+  stats : Relational.Stats.t Lazy.t;
+      (** database statistics for cost annotation; forced only when a
+          plan needs estimates (tracing, explain) *)
 }
 
 val prepare : Relational.Database.t -> Rxl.view -> prepared
@@ -34,6 +37,9 @@ type stream_exec = {
   se_stream : Sql_gen.stream;
   se_relation : Relational.Relation.t;
   se_sql : string;
+  se_plan : Relational.Physical.plan;
+      (** the executed physical plan, with actual rows/work per
+          operator filled in *)
   se_stats : Relational.Executor.stats;
   se_wall_ms : float;
 }
@@ -83,6 +89,17 @@ val execute :
 val document_of : prepared -> execution -> Xmlkit.Xml.t
 val xml_string_of : prepared -> execution -> string
 
+val explain :
+  ?style:Sql_gen.style -> ?reduce:bool -> prepared -> Partition.t -> string
+(** Per stream: the shipped SQL, the rewritten logical algebra tree,
+    and the cost-annotated physical plan (estimates only — nothing is
+    executed). *)
+
+val explain_execution : prepared -> execution -> string
+(** Like {!explain} but over a finished {!execution}: the physical
+    trees are the executed plans, so every operator shows estimated
+    {e and} actual rows/work. *)
+
 (** Per-stream breakdown of a streaming execution.  Stats, row/byte
     counts and modeled transfer are complete (accounted tuple-by-tuple
     while the result was spooled); the rows themselves are reachable
@@ -91,6 +108,8 @@ type stream_cursor = {
   sc_stream : Sql_gen.stream;
   sc_cursor : Relational.Cursor.t;
   sc_sql : string;
+  sc_plan : Relational.Physical.plan;
+      (** the executed physical plan, with actual figures filled in *)
   sc_stats : Relational.Executor.stats;
   sc_wall_ms : float;
   sc_rows : int;
@@ -130,6 +149,10 @@ val execute_streaming :
     retained as a relation: live heap memory from here through tagging
     is bounded by the view-tree depth plus one tuple per stream,
     independent of the database size. *)
+
+val explain_streaming : prepared -> streaming -> string
+(** {!explain_execution} for the streaming path (plans come from
+    [sc_plan]); does not touch the cursors. *)
 
 (** What resilience cost during one {!execute_resilient} run: counters
     diffed over the backend's {!Relational.Backend.stats}, plus the

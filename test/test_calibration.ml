@@ -1,0 +1,105 @@
+(* Cost-oracle calibration tolerances.  [Cost.annotate] prices the same
+   physical plan the executor runs, so estimates and meter readings are
+   comparable per operator.  These bounds are deliberately loose — the
+   estimator carries System-R independence assumptions — but they fail
+   the suite loudly if the oracle drifts grossly from the engine
+   (e.g. a charge formula changes on one side only). *)
+
+open Silkroute
+module R = Relational
+
+let qerr est act =
+  let e = Float.max 1.0 est and a = Float.max 1.0 act in
+  Float.max (e /. a) (a /. e)
+
+(* Every (stream, annotated+executed plan) of the unified and fully
+   partitioned plans of q1/q2, outer-join style, both reduce modes. *)
+let annotated_plans () =
+  let db = Tpch.Gen.generate (Tpch.Gen.config 1.0) in
+  let stats = R.Stats.analyze db in
+  List.concat_map
+    (fun (qname, text) ->
+      let p = Middleware.prepare_text db text in
+      let tree = p.Middleware.tree in
+      List.concat_map
+        (fun reduce ->
+          let opts =
+            {
+              Sql_gen.style = Sql_gen.Outer_join;
+              labels = (if reduce then Some p.Middleware.labels else None);
+            }
+          in
+          List.concat_map
+            (fun (pname, plan) ->
+              List.mapi
+                (fun i s ->
+                  let phys = R.Physical.plan_of db s.Sql_gen.query in
+                  let est = R.Cost.annotate stats phys in
+                  let _, st = R.Executor.run_plan_with_stats db phys in
+                  let ctx =
+                    Printf.sprintf "%s %s reduce=%b stream=%d" qname pname
+                      reduce i
+                  in
+                  (ctx, phys, est, st))
+                (Sql_gen.streams db tree plan opts))
+            [
+              ("unified", Partition.unified tree);
+              ("fully", Partition.fully_partitioned tree);
+            ])
+        [ false; true ])
+    [ ("q1", Queries.query1_text); ("q2", Queries.query2_text) ]
+
+let test_scans_exact () =
+  List.iter
+    (fun (ctx, phys, _, _) ->
+      R.Physical.iter
+        (fun n ->
+          match n.R.Physical.shape with
+          | R.Physical.Scan { table; _ } ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s: scan %s rows exact" ctx table)
+                n.R.Physical.act_rows
+                (int_of_float n.R.Physical.est_rows)
+          | _ -> ())
+        phys)
+    (annotated_plans ())
+
+let test_stream_totals () =
+  let plans = annotated_plans () in
+  let sum_log = ref 0.0 in
+  List.iter
+    (fun (ctx, _, est, st) ->
+      let q = qerr est.R.Cost.eval_cost (float_of_int st.R.Executor.work) in
+      sum_log := !sum_log +. Float.log q;
+      if q > 100.0 then
+        Alcotest.failf
+          "%s: whole-stream eval cost drifted %.1fx (est %.0f, actual %d)"
+          ctx q est.R.Cost.eval_cost st.R.Executor.work)
+    plans;
+  let geo = exp (!sum_log /. float_of_int (List.length plans)) in
+  if geo > 3.0 then
+    Alcotest.failf "geo-mean whole-stream eval-cost q-error %.2f > 3.0" geo
+
+let test_per_operator () =
+  List.iter
+    (fun (ctx, phys, _, _) ->
+      R.Physical.iter
+        (fun n ->
+          let q =
+            qerr n.R.Physical.est_rows (float_of_int n.R.Physical.act_rows)
+          in
+          if q > 150.0 then
+            Alcotest.failf "%s: %s rows estimate drifted %.1fx (est %.0f act %d)"
+              ctx (R.Physical.op_name n) q n.R.Physical.est_rows
+              n.R.Physical.act_rows)
+        phys)
+    (annotated_plans ())
+
+let suite =
+  [
+    Alcotest.test_case "scan estimates are exact" `Quick test_scans_exact;
+    Alcotest.test_case "whole-stream cost within tolerance" `Quick
+      test_stream_totals;
+    Alcotest.test_case "per-operator rows within tolerance" `Quick
+      test_per_operator;
+  ]

@@ -17,9 +17,11 @@ let () =
       ("expr", Test_expr.suite);
       qcheck "expr:props" Test_expr.props;
       ("sql", Test_sql.suite);
+      ("sql-roundtrip", Test_sql_roundtrip.suite);
       ("executor", Test_executor.suite);
       qcheck "executor:props" Test_executor.props;
       ("stats+cost", Test_stats_cost.suite);
+      ("calibration", Test_calibration.suite);
       ("source+csv", Test_source_csv.suite);
       ("tpch", Test_tpch.suite);
       ("xml", Test_xml.suite);
@@ -39,6 +41,7 @@ let () =
       ("middleware", Test_middleware.suite);
       ("streaming", Test_streaming.suite);
       ("resilience", Test_resilience.suite);
+      ("differential", Test_differential.suite);
       ("obs", Test_obs.suite);
       qcheck "random-views:props" Test_random_views.props;
     ]

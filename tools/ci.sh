@@ -7,6 +7,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== dune build @check"
+dune build @check
+
 echo "== dune build @all"
 dune build @all
 
@@ -18,6 +21,9 @@ dune exec tools/mem_smoke.exe
 
 echo "== fault smoke (byte-identical output under injected faults)"
 dune exec tools/fault_smoke.exe
+
+echo "== explain smoke (logical + physical trees on q1/q2)"
+sh tools/explain_smoke.sh
 
 if command -v ocamlformat > /dev/null 2>&1; then
   echo "== dune build @fmt"
