@@ -5,7 +5,13 @@
    run one of table1 | sec2 | fig13 | fig14 | fig15 | fig18 | ranks |
    requests | ablation | extra | pruning | resilience | micro.  With --obs-jsonl <file>: trace every
    experiment through lib/obs and append per-experiment JSONL records
-   (spans + metrics, tagged with the experiment id) to <file>. *)
+   (spans + profile + metrics, tagged with the experiment id) to <file>.
+
+   Baseline gate (see bench/baseline.ml):
+     --write-baseline [FILE]   measure the deterministic matrix and write it
+     --check-baseline [FILE]   re-measure, print the delta table, exit
+                               non-zero on drift outside tolerance
+   FILE defaults to BENCH_silkroute.json at the repo root. *)
 
 let experiments =
   [
@@ -27,35 +33,53 @@ let experiments =
 
 let usage () =
   Printf.printf
-    "usage: main.exe [--experiment <id>] [--obs-jsonl <file>]\n  ids: %s | all\n"
+    "usage: main.exe [--experiment <id>] [--obs-jsonl <file>]\n\
+    \       main.exe --write-baseline [file] | --check-baseline [file]\n\
+    \  ids: %s | all\n"
     (String.concat " | " (List.map fst experiments));
   exit 1
 
 let run_all () =
   List.iter (fun (id, f) -> Bench_common.record_experiment id f) experiments
 
+type mode = Run | Write_baseline of string | Check_baseline of string
+
 let () =
-  let rec parse id jsonl = function
-    | [] -> (id, jsonl)
-    | "--experiment" :: x :: rest -> parse (Some x) jsonl rest
-    | "--obs-jsonl" :: f :: rest -> parse id (Some f) rest
+  let rec parse id jsonl mode = function
+    | [] -> (id, jsonl, mode)
+    | "--experiment" :: x :: rest -> parse (Some x) jsonl mode rest
+    | "--obs-jsonl" :: f :: rest -> parse id (Some f) mode rest
+    | "--write-baseline" :: f :: rest when String.length f > 0 && f.[0] <> '-'
+      ->
+        parse id jsonl (Write_baseline f) rest
+    | "--write-baseline" :: rest ->
+        parse id jsonl (Write_baseline Baseline.default_path) rest
+    | "--check-baseline" :: f :: rest when String.length f > 0 && f.[0] <> '-'
+      ->
+        parse id jsonl (Check_baseline f) rest
+    | "--check-baseline" :: rest ->
+        parse id jsonl (Check_baseline Baseline.default_path) rest
     | [ x ] when id = None && String.length x > 0 && x.[0] <> '-' ->
-        (Some x, jsonl)
+        (Some x, jsonl, mode)
     | _ -> usage ()
   in
-  let id, jsonl = parse None None (List.tl (Array.to_list Sys.argv)) in
-  (match jsonl with Some f -> Bench_common.enable_obs f | None -> ());
-  (match id with
-  | None ->
-      Printf.printf
-        "SilkRoute experiment harness — reproducing 'Efficient Evaluation of\n\
-         XML Middle-ware Queries' (SIGMOD 2001). Simulated times are\n\
-         deterministic (engine work units / %.0f per ms); see EXPERIMENTS.md.\n"
-        Bench_common.work_per_ms;
-      run_all ()
-  | Some "all" -> run_all ()
-  | Some id -> (
-      match List.assoc_opt id experiments with
-      | Some f -> Bench_common.record_experiment id f
-      | None -> usage ()));
-  Bench_common.finish_obs ()
+  let id, jsonl, mode = parse None None Run (List.tl (Array.to_list Sys.argv)) in
+  match mode with
+  | Write_baseline path -> Baseline.write path
+  | Check_baseline path -> if not (Baseline.check path) then exit 1
+  | Run ->
+      (match jsonl with Some f -> Bench_common.enable_obs f | None -> ());
+      (match id with
+      | None ->
+          Printf.printf
+            "SilkRoute experiment harness — reproducing 'Efficient Evaluation of\n\
+             XML Middle-ware Queries' (SIGMOD 2001). Simulated times are\n\
+             deterministic (engine work units / %.0f per ms); see EXPERIMENTS.md.\n"
+            Bench_common.work_per_ms;
+          run_all ()
+      | Some "all" -> run_all ()
+      | Some id -> (
+          match List.assoc_opt id experiments with
+          | Some f -> Bench_common.record_experiment id f
+          | None -> usage ()));
+      Bench_common.finish_obs ()

@@ -12,10 +12,13 @@
 
    Observability (lib/obs): --trace prints the span tree of the pipeline
    (prepare / plan / sqlgen / execute / tag, with durations and work
-   attributes) to stderr, --metrics the metrics registry, and
-   --trace-json FILE writes both as JSON Lines for diffing runs:
+   attributes) to stderr, --profile the name-path profile tree plus a
+   top-k hot-operator table with p50/p90/p99 columns, --metrics the
+   metrics registry, and --trace-json FILE writes spans + profile +
+   metrics as JSON Lines for diffing runs:
 
      silkroute run -q q1 --scale 0.2 --trace
+     silkroute run -q q1 --profile
      silkroute run -q q1 --trace-json trace.jsonl --metrics
      silkroute plan -q q2 --trace *)
 
@@ -153,10 +156,19 @@ let trace_json_arg =
 
 let metrics_arg =
   let doc =
-    "Print the metrics registry (counters, gauges, histograms) to stderr \
-     after the command finishes."
+    "Print the metrics registry (counters, gauges, histograms with \
+     p50/p90/p99) to stderr after the command finishes."
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let profile_arg =
+  let doc =
+    "Print a profile of the run to stderr: the span log aggregated by \
+     name-path into a tree of calls / total ms / self ms / rows / work / \
+     bytes, plus a top-k hot-operator table with p50/p90/p99 columns from \
+     the span.ms.* histograms."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ~dst:Format.err_formatter ());
@@ -164,11 +176,13 @@ let setup_logs verbose =
 
 (* Enable observability before any pipeline stage runs; emit the chosen
    sinks after everything finished. *)
-let setup_obs ~trace ~trace_json ~metrics =
-  if trace || metrics || trace_json <> None then Obs.Control.set_enabled true
+let setup_obs ~trace ~trace_json ~metrics ~profile =
+  if trace || metrics || profile || trace_json <> None then
+    Obs.Control.set_enabled true
 
-let report_obs ~trace ~trace_json ~metrics =
+let report_obs ~trace ~trace_json ~metrics ~profile =
   if trace then prerr_string (Obs.Report.render_spans ());
+  if profile then prerr_string (Obs.Profile.render (Obs.Profile.capture ()));
   if metrics then prerr_string (Obs.Report.render_metrics ());
   match trace_json with
   | Some path -> Obs.Jsonl.write_file path
@@ -215,9 +229,9 @@ let setup query view_file scale seed schema data =
 
 let run_cmd query view_file scale seed schema data strategy no_reduce pretty
     stream budget resilient fault_rate fault_seed retries explain verbose trace
-    trace_json metrics =
+    trace_json metrics profile =
   setup_logs verbose;
-  setup_obs ~trace ~trace_json ~metrics;
+  setup_obs ~trace ~trace_json ~metrics ~profile;
   if (stream || resilient) && pretty then
     invalid_arg "--pretty requires the materialized path; drop --stream/--resilient";
   if fault_rate > 0.0 && not resilient then
@@ -277,7 +291,7 @@ let run_cmd query view_file scale seed schema data strategy no_reduce pretty
       (List.length e.S.Middleware.streams)
       e.S.Middleware.tuples e.S.Middleware.work e.S.Middleware.transfer_ms
   end;
-  report_obs ~trace ~trace_json ~metrics
+  report_obs ~trace ~trace_json ~metrics ~profile
 
 let explain_cmd query view_file scale seed schema data strategy no_reduce =
   let db, p = setup query view_file scale seed schema data in
@@ -291,8 +305,8 @@ let explain_cmd query view_file scale seed schema data strategy no_reduce =
   print_endline (S.Middleware.explain ~reduce:(not no_reduce) p plan)
 
 let plan_cmd query view_file scale seed schema data no_reduce trace trace_json
-    metrics =
-  setup_obs ~trace ~trace_json ~metrics;
+    metrics profile =
+  setup_obs ~trace ~trace_json ~metrics ~profile;
   let db, p = setup query view_file scale seed schema data in
   let oracle = R.Cost.oracle db in
   let r =
@@ -305,7 +319,7 @@ let plan_cmd query view_file scale seed schema data no_reduce trace trace_json
   let best = S.Planner.best_plan p.S.Middleware.tree r in
   Printf.printf "best plan: %s (%d streams)\n" (S.Partition.to_string best)
     (S.Partition.stream_count best);
-  report_obs ~trace ~trace_json ~metrics
+  report_obs ~trace ~trace_json ~metrics ~profile
 
 let run_t =
   Term.(
@@ -313,7 +327,7 @@ let run_t =
     $ data_arg $ strategy_arg $ no_reduce_arg $ pretty_arg $ stream_arg
     $ budget_arg $ resilient_arg $ fault_rate_arg $ fault_seed_arg
     $ retries_arg $ explain_flag_arg $ verbose_arg $ trace_arg $ trace_json_arg
-    $ metrics_arg)
+    $ metrics_arg $ profile_arg)
 
 let explain_t =
   Term.(
@@ -323,7 +337,8 @@ let explain_t =
 let plan_t =
   Term.(
     const plan_cmd $ query_arg $ view_arg $ scale_arg $ seed_arg $ schema_arg
-    $ data_arg $ no_reduce_arg $ trace_arg $ trace_json_arg $ metrics_arg)
+    $ data_arg $ no_reduce_arg $ trace_arg $ trace_json_arg $ metrics_arg
+    $ profile_arg)
 
 let cmds =
   [

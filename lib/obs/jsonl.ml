@@ -16,7 +16,12 @@ let tagged experiment fields =
   | None -> fields
   | Some e -> ("experiment", Json.String e) :: fields
 
-let span_json ?experiment (s : Span.t) =
+(* [start_ns] is rebased to [base_ns] (the trace's first span) so two
+   runs of the same pipeline produce byte-diffable files: absolute
+   monotonic readings differ on every run, offsets within a trace do
+   not (exactly, under the deterministic test clock; closely enough to
+   survive a textual diff of record *structure* otherwise). *)
+let span_json ?experiment ?(base_ns = 0L) (s : Span.t) =
   Json.Obj
     (tagged experiment
        [
@@ -28,7 +33,7 @@ let span_json ?experiment (s : Span.t) =
            | Some p -> Json.Int p );
          ("depth", Json.Int s.Span.depth);
          ("name", Json.String s.Span.name);
-         ("start_ns", Json.Int (Int64.to_int s.Span.start_ns));
+         ("start_ns", Json.Int (Int64.to_int (Int64.sub s.Span.start_ns base_ns)));
          ("dur_ms", Json.Float (Span.duration_ms s));
          ( "attrs",
            Json.Obj
@@ -55,16 +60,53 @@ let metric_json ?experiment (name, snap) =
           ("sum", Json.Float h.Metrics.sum);
           ("count", Json.Int h.Metrics.n);
         ]
+        @ (match Metrics.p50_90_99 h with
+          | Some (p50, p90, p99) ->
+              [
+                ("p50", Json.Float p50);
+                ("p90", Json.Float p90);
+                ("p99", Json.Float p99);
+              ]
+          | None -> [])
   in
   Json.Obj
     (tagged experiment
        (("type", Json.String "metric") :: ("name", Json.String name) :: payload))
 
+let profile_json ?experiment ~path (n : Profile.node) =
+  Json.Obj
+    (tagged experiment
+       [
+         ("type", Json.String "profile");
+         ("path", Json.String (String.concat "/" path));
+         ("name", Json.String n.Profile.name);
+         ("calls", Json.Int n.Profile.calls);
+         ("total_ms", Json.Float n.Profile.total_ms);
+         ("self_ms", Json.Float n.Profile.self_ms);
+         ("rows", Json.Int n.Profile.rows);
+         ("work", Json.Int n.Profile.work);
+         ("bytes", Json.Int n.Profile.bytes);
+       ])
+
 let to_lines ?experiment () =
-  List.map (fun s -> Json.to_string (span_json ?experiment s)) (Span.spans ())
-  @ List.map
-      (fun m -> Json.to_string (metric_json ?experiment m))
+  let spans = Span.spans () in
+  let base_ns = match spans with [] -> 0L | s :: _ -> s.Span.start_ns in
+  let span_lines =
+    List.map (fun s -> Json.to_string (span_json ?experiment ~base_ns s)) spans
+  in
+  let profile_lines =
+    List.rev
+      (Profile.fold
+         (fun acc path n ->
+           Json.to_string (profile_json ?experiment ~path n) :: acc)
+         []
+         (Profile.of_spans spans))
+  in
+  let metric_lines =
+    List.map (fun m -> Json.to_string (metric_json ?experiment m))
       (Metrics.snapshot ())
+  in
+  span_lines @ profile_lines @ metric_lines
 
 let write_channel ?experiment oc =
   List.iter

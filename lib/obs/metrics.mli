@@ -19,6 +19,11 @@ val duration_bounds : float array
 
 val exponential : start:float -> factor:float -> count:int -> float array
 
+val bucket_index : float array -> float -> int
+(** Smallest [i] with [x <= bounds.(i)], or [Array.length bounds] for
+    the overflow bucket.  Binary search over the (strictly increasing)
+    edges — this is the per-observation hot path. *)
+
 val incr : ?by:int -> string -> unit
 val set_gauge : string -> float -> unit
 
@@ -35,3 +40,13 @@ val snapshot : unit -> (string * snapshot) list
 
 val counter_value : string -> int option
 val histogram_snapshot : string -> histogram option
+
+val percentile : histogram -> float -> float option
+(** Estimated [q]-quantile ([q] clamped to [0,1]) by log-linear
+    interpolation inside the bucket holding the [q*n]-th observation
+    (linear from zero in the first bucket).  A percentile landing in the
+    overflow bucket reports the last bound — a conservative lower bound.
+    [None] when the histogram is empty or has no bounds. *)
+
+val p50_90_99 : histogram -> (float * float * float) option
+(** The three percentiles every report column wants, in one call. *)

@@ -1,0 +1,52 @@
+(** Profile trees: the span log aggregated by name-path.
+
+    Every dynamic span instance with the same ancestry of names folds
+    into one node with call counts, total and self milliseconds, and
+    sums of the pipeline's accounting attributes ([rows]/[work]/[bytes]
+    integer attrs).  Invariants (pinned by [test_profile.ml]):
+    [self_ms >= 0] on every node, and the self times of a tree sum back
+    to its root's total. *)
+
+type node = {
+  name : string;
+  mutable calls : int;
+  mutable total_ms : float;
+  mutable self_ms : float;  (** total minus time attributed to children *)
+  mutable rows : int;
+  mutable work : int;
+  mutable bytes : int;
+  mutable children_rev : node list;  (** reverse first-seen order *)
+}
+
+type t = { roots : node list; total_ms : float }
+
+val of_spans : Span.t list -> t
+(** Aggregates a span log (pre-order, as {!Span.spans} returns it).
+    Unfinished spans are charged zero duration; orphans become roots. *)
+
+val capture : unit -> t
+(** [of_spans (Span.spans ())]. *)
+
+val children : node -> node list
+(** Children in first-seen order. *)
+
+val iter : (string list -> node -> unit) -> t -> unit
+(** Pre-order over aggregated nodes; the path includes the node's name. *)
+
+val fold : ('a -> string list -> node -> 'a) -> 'a -> t -> 'a
+
+val hot : ?top:int -> t -> node list
+(** Nodes merged by bare name across all paths, sorted by self time
+    descending, truncated to [top] (default 10).  Returned nodes are
+    fresh aggregates with no children. *)
+
+val render_tree : t -> string
+(** Flame-style table: one row per name-path with calls, total/self ms,
+    attribute sums and a share bar. *)
+
+val render_hot : ?top:int -> t -> string
+(** Top-k table with p50/p90/p99 columns read from the
+    ["span.ms.<name>"] histograms of the current metrics registry. *)
+
+val render : ?top:int -> t -> string
+(** {!render_tree} followed by {!render_hot}. *)

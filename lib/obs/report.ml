@@ -28,6 +28,10 @@ let render_spans () =
 
 let render_histogram buf (h : Metrics.histogram) =
   bprintf buf "histogram n=%d sum=%g" h.Metrics.n h.Metrics.sum;
+  (match Metrics.p50_90_99 h with
+  | Some (p50, p90, p99) ->
+      bprintf buf " p50=%.4g p90=%.4g p99=%.4g" p50 p90 p99
+  | None -> ());
   if h.Metrics.n > 0 then begin
     Buffer.add_string buf "  [";
     let first = ref true in

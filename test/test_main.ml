@@ -43,5 +43,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("differential", Test_differential.suite);
       ("obs", Test_obs.suite);
+      ("profile", Test_profile.suite);
       qcheck "random-views:props" Test_random_views.props;
     ]

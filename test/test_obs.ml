@@ -199,7 +199,7 @@ let test_jsonl_export () =
           Alcotest.(check bool) "tagged with experiment" true
             (Obs.Json.member "experiment" j = Some (Obs.Json.String "exp1"));
           match Obs.Json.member "type" j with
-          | Some (Obs.Json.String ("span" | "metric")) -> ()
+          | Some (Obs.Json.String ("span" | "profile" | "metric")) -> ()
           | _ -> Alcotest.fail "bad type field")
         parsed;
       let root =

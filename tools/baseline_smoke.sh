@@ -1,0 +1,20 @@
+#!/bin/sh
+# The regression gate must actually gate: feed `bench --check-baseline`
+# a copy of the committed baseline with every work figure clobbered
+# (drift far beyond the ±5% tolerance) and require a non-zero exit.
+# The pass-direction (unmodified tree vs committed BENCH_silkroute.json)
+# is exercised by the `--check-baseline` step in ci.sh itself.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp "${TMPDIR:-/tmp}/silkroute_baseline.XXXXXX")
+trap 'rm -f "$tmp"' EXIT INT TERM
+
+sed 's/"work":[0-9][0-9]*/"work":1/' BENCH_silkroute.json > "$tmp"
+
+if dune exec bench/main.exe -- --check-baseline "$tmp" > /dev/null 2>&1; then
+  echo "baseline_smoke: perturbed baseline unexpectedly passed the gate" >&2
+  exit 1
+fi
+echo "baseline_smoke OK (perturbed work figures fail the gate)"

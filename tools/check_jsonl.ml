@@ -1,8 +1,22 @@
-(* Validate a JSON-Lines trace file: every non-empty line must parse as
-   a JSON object with a "type" field, and there must be at least one.
+(* Validate a JSON-Lines observability file: every non-empty line must
+   parse as a JSON object whose "type" is one of span | profile | metric
+   | baseline, and there must be at least one line.  Beyond well-
+   formedness it checks the diffability contract the exporters promise:
+
+   - span records carry a rebased "start_ns": within one experiment tag
+     (bench files concatenate one batch per experiment) the first span
+     starts at exactly 0 and starts never decrease (spans are logged in
+     start order);
+   - profile records carry a non-empty "path", calls >= 1, and
+     0 <= self_ms <= total_ms (+ epsilon for float noise);
+   - baseline records (other than the "_meta" header) carry the
+     deterministic quantities the regression gate diffs: streams, work,
+     rows, bytes as non-negative ints, transfer_ms as a number.
+
    Exit status 0 on success, 1 with a diagnostic otherwise.  Used by
    check_trace.sh under `dune runtest` to guard the CLI's --trace-json
-   output against encoder drift. *)
+   output against encoder drift, and runnable by hand on bench
+   --obs-jsonl files and on BENCH_silkroute.json. *)
 
 let fail line_no fmt =
   Printf.ksprintf
@@ -10,6 +24,89 @@ let fail line_no fmt =
       Printf.eprintf "check_jsonl: line %d: %s\n" line_no msg;
       exit 1)
     fmt
+
+let str_member key j =
+  match Obs.Json.member key j with
+  | Some (Obs.Json.String s) -> Some s
+  | _ -> None
+
+let int_member key j =
+  match Obs.Json.member key j with
+  | Some (Obs.Json.Int n) -> Some n
+  | _ -> None
+
+let num_member key j =
+  match Obs.Json.member key j with
+  | Some (Obs.Json.Float x) -> Some x
+  | Some (Obs.Json.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let require_int line_no what key j =
+  match int_member key j with
+  | Some n -> n
+  | None -> fail line_no "%s: missing int %S" what key
+
+let require_nonneg_int line_no what key j =
+  let n = require_int line_no what key j in
+  if n < 0 then fail line_no "%s: %S is negative (%d)" what key n;
+  n
+
+(* start-order state per experiment tag ("" when untagged) *)
+let last_start : (string, int) Hashtbl.t = Hashtbl.create 4
+
+let check_span line_no j =
+  let exp = Option.value ~default:"" (str_member "experiment" j) in
+  let start = require_int line_no "span" "start_ns" j in
+  (match Hashtbl.find_opt last_start exp with
+  | None ->
+      if start <> 0 then
+        fail line_no
+          "span: first start_ns of experiment %S is %d, want 0 (starts must \
+           be rebased to the trace's first span)"
+          exp start
+  | Some prev ->
+      if start < prev then
+        fail line_no "span: start_ns %d < previous %d (not in start order)"
+          start prev);
+  Hashtbl.replace last_start exp start;
+  (match num_member "dur_ms" j with
+  | Some _ -> ()
+  | None -> fail line_no "span: missing number \"dur_ms\"");
+  match str_member "name" j with
+  | Some _ -> ()
+  | None -> fail line_no "span: missing string \"name\""
+
+let check_profile line_no j =
+  (match str_member "path" j with
+  | Some "" | None -> fail line_no "profile: missing or empty \"path\""
+  | Some _ -> ());
+  let calls = require_int line_no "profile" "calls" j in
+  if calls < 1 then fail line_no "profile: calls %d < 1" calls;
+  let self_ms =
+    match num_member "self_ms" j with
+    | Some x -> x
+    | None -> fail line_no "profile: missing number \"self_ms\""
+  in
+  let total_ms =
+    match num_member "total_ms" j with
+    | Some x -> x
+    | None -> fail line_no "profile: missing number \"total_ms\""
+  in
+  if self_ms < 0.0 then fail line_no "profile: self_ms %g < 0" self_ms;
+  if self_ms > total_ms +. 1e-9 then
+    fail line_no "profile: self_ms %g > total_ms %g" self_ms total_ms
+
+let check_baseline line_no j =
+  match str_member "experiment" j with
+  | None -> fail line_no "baseline: missing string \"experiment\""
+  | Some "_meta" ->
+      ignore (require_int line_no "baseline meta" "version" j)
+  | Some _ ->
+      List.iter
+        (fun key -> ignore (require_nonneg_int line_no "baseline" key j))
+        [ "streams"; "work"; "rows"; "bytes" ];
+      if num_member "transfer_ms" j = None then
+        fail line_no "baseline: missing number \"transfer_ms\""
 
 let () =
   if Array.length Sys.argv <> 2 then begin
@@ -28,7 +125,10 @@ let () =
          | exception Obs.Json.Parse_error msg -> fail !n "%s" msg
          | Obs.Json.Obj _ as j -> (
              match Obs.Json.member "type" j with
-             | Some (Obs.Json.String ("span" | "metric")) -> ()
+             | Some (Obs.Json.String "span") -> check_span !n j
+             | Some (Obs.Json.String "profile") -> check_profile !n j
+             | Some (Obs.Json.String "metric") -> ()
+             | Some (Obs.Json.String "baseline") -> check_baseline !n j
              | Some _ | None -> fail !n "missing or bad \"type\" field")
          | _ -> fail !n "not a JSON object"
        end

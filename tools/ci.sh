@@ -25,6 +25,12 @@ dune exec tools/fault_smoke.exe
 echo "== explain smoke (logical + physical trees on q1/q2)"
 sh tools/explain_smoke.sh
 
+echo "== bench baseline gate (work within ±5% of committed BENCH_silkroute.json)"
+dune exec bench/main.exe -- --check-baseline
+
+echo "== baseline smoke (perturbed baseline must fail the gate)"
+sh tools/baseline_smoke.sh
+
 if command -v ocamlformat > /dev/null 2>&1; then
   echo "== dune build @fmt"
   dune build @fmt
