@@ -61,21 +61,37 @@ let prepare cfg text =
    and two runs can be diffed span by span. *)
 let obs_channel : out_channel option ref = ref None
 
+(* With --trace-chrome PREFIX each experiment additionally writes a
+   Chrome trace-event file PREFIX-<experiment>.json (one Perfetto tab
+   per experiment). *)
+let chrome_prefix : string option ref = ref None
+
 let enable_obs path =
   Obs.Control.set_enabled true;
   obs_channel := Some (open_out path)
 
+let enable_chrome prefix =
+  Obs.Control.set_enabled true;
+  chrome_prefix := Some prefix
+
 let record_experiment name f =
-  match !obs_channel with
-  | None -> f ()
-  | Some oc ->
-      Obs.Span.reset ();
-      Obs.Metrics.reset ();
-      Obs.Span.with_span "experiment"
-        ~attrs:[ Obs.Attr.string "name" name ]
-        f;
-      Obs.Jsonl.write_channel ~experiment:name oc;
-      flush oc
+  if !obs_channel = None && !chrome_prefix = None then f ()
+  else begin
+    Obs.Span.reset ();
+    Obs.Metrics.reset ();
+    Obs.Event.reset ();
+    Obs.Span.with_span "experiment"
+      ~attrs:[ Obs.Attr.string "name" name ]
+      f;
+    (match !obs_channel with
+    | Some oc ->
+        Obs.Jsonl.write_channel ~experiment:name oc;
+        flush oc
+    | None -> ());
+    match !chrome_prefix with
+    | Some prefix -> Obs.Chrometrace.write_file (prefix ^ "-" ^ name ^ ".json")
+    | None -> ()
+  end
 
 let finish_obs () =
   match !obs_channel with

@@ -5,7 +5,9 @@
    run one of table1 | sec2 | fig13 | fig14 | fig15 | fig18 | ranks |
    requests | ablation | extra | pruning | resilience | micro.  With --obs-jsonl <file>: trace every
    experiment through lib/obs and append per-experiment JSONL records
-   (spans + profile + metrics, tagged with the experiment id) to <file>.
+   (spans + events + profile + metrics, tagged with the experiment id) to
+   <file>.  With --trace-chrome <prefix>: also write one Chrome
+   trace-event file <prefix>-<experiment>.json per experiment.
 
    Baseline gate (see bench/baseline.ml):
      --write-baseline [FILE]   measure the deterministic matrix and write it
@@ -33,7 +35,7 @@ let experiments =
 
 let usage () =
   Printf.printf
-    "usage: main.exe [--experiment <id>] [--obs-jsonl <file>]\n\
+    "usage: main.exe [--experiment <id>] [--obs-jsonl <file>] [--trace-chrome <prefix>]\n\
     \       main.exe --write-baseline [file] | --check-baseline [file]\n\
     \  ids: %s | all\n"
     (String.concat " | " (List.map fst experiments));
@@ -45,30 +47,34 @@ let run_all () =
 type mode = Run | Write_baseline of string | Check_baseline of string
 
 let () =
-  let rec parse id jsonl mode = function
-    | [] -> (id, jsonl, mode)
-    | "--experiment" :: x :: rest -> parse (Some x) jsonl mode rest
-    | "--obs-jsonl" :: f :: rest -> parse id (Some f) mode rest
+  let rec parse id jsonl chrome mode = function
+    | [] -> (id, jsonl, chrome, mode)
+    | "--experiment" :: x :: rest -> parse (Some x) jsonl chrome mode rest
+    | "--obs-jsonl" :: f :: rest -> parse id (Some f) chrome mode rest
+    | "--trace-chrome" :: f :: rest -> parse id jsonl (Some f) mode rest
     | "--write-baseline" :: f :: rest when String.length f > 0 && f.[0] <> '-'
       ->
-        parse id jsonl (Write_baseline f) rest
+        parse id jsonl chrome (Write_baseline f) rest
     | "--write-baseline" :: rest ->
-        parse id jsonl (Write_baseline Baseline.default_path) rest
+        parse id jsonl chrome (Write_baseline Baseline.default_path) rest
     | "--check-baseline" :: f :: rest when String.length f > 0 && f.[0] <> '-'
       ->
-        parse id jsonl (Check_baseline f) rest
+        parse id jsonl chrome (Check_baseline f) rest
     | "--check-baseline" :: rest ->
-        parse id jsonl (Check_baseline Baseline.default_path) rest
+        parse id jsonl chrome (Check_baseline Baseline.default_path) rest
     | [ x ] when id = None && String.length x > 0 && x.[0] <> '-' ->
-        (Some x, jsonl, mode)
+        (Some x, jsonl, chrome, mode)
     | _ -> usage ()
   in
-  let id, jsonl, mode = parse None None Run (List.tl (Array.to_list Sys.argv)) in
+  let id, jsonl, chrome, mode =
+    parse None None None Run (List.tl (Array.to_list Sys.argv))
+  in
   match mode with
   | Write_baseline path -> Baseline.write path
   | Check_baseline path -> if not (Baseline.check path) then exit 1
   | Run ->
       (match jsonl with Some f -> Bench_common.enable_obs f | None -> ());
+      (match chrome with Some f -> Bench_common.enable_chrome f | None -> ());
       (match id with
       | None ->
           Printf.printf

@@ -99,11 +99,49 @@ let t_bucket_linear =
            (fun x -> ignore (linear_bucket_index bounds x))
            bucket_samples))
 
+(* Event emission and GC snapshots sit inside spans on the hot path, so
+   their unit costs bound the diagnostics overhead.  The disabled
+   variants prove the PR 5 envelope still holds when tracing is off:
+   both an un-recorded event and an un-opened span are one boolean
+   test. *)
+let t_event_emit =
+  Test.make ~name:"obs:event-emit-enabled"
+    (Staged.stage (fun () ->
+         Obs.Control.with_enabled true (fun () ->
+             for i = 0 to 4095 do
+               Obs.Event.debug "bench.tick" ~attrs:[ Obs.Attr.int "i" i ]
+             done;
+             Obs.Event.reset ())))
+
+let t_event_disabled =
+  Test.make ~name:"obs:event-emit-disabled"
+    (Staged.stage (fun () ->
+         Obs.Control.with_enabled false (fun () ->
+             for i = 0 to 4095 do
+               Obs.Event.debug "bench.tick" ~attrs:[ Obs.Attr.int "i" i ]
+             done)))
+
+let t_gc_quickstat =
+  Test.make ~name:"obs:gc-quick-stat"
+    (Staged.stage (fun () ->
+         for _ = 0 to 4095 do
+           ignore (Gc.quick_stat ())
+         done))
+
+let t_span_disabled =
+  Test.make ~name:"obs:span-disabled"
+    (Staged.stage (fun () ->
+         Obs.Control.with_enabled false (fun () ->
+             for _ = 0 to 4095 do
+               Obs.Span.with_span "bench.span" (fun () -> ())
+             done)))
+
 let all_tests =
   Test.make_grouped ~name:"silkroute" ~fmt:"%s/%s"
     [
       t_table1; t_sec2; t_fig13; t_fig13_stream; t_fig14; t_fig15; t_fig18;
-      t_bucket_binary; t_bucket_linear;
+      t_bucket_binary; t_bucket_linear; t_event_emit; t_event_disabled;
+      t_gc_quickstat; t_span_disabled;
     ]
 
 let run () =

@@ -20,7 +20,17 @@
      silkroute run -q q1 --scale 0.2 --trace
      silkroute run -q q1 --profile
      silkroute run -q q1 --trace-json trace.jsonl --metrics
-     silkroute plan -q q2 --trace *)
+     silkroute plan -q q2 --trace
+
+   Diagnostics: --trace-chrome FILE exports the span tree as Chrome
+   trace-event JSON (load in Perfetto or chrome://tracing), --diagnose
+   runs the plan anomaly detector (est-vs-actual q-errors, spills,
+   resilience counters, GC pressure) after the run, and --skew-stats
+   TABLE=FACTOR deliberately corrupts the catalog to demonstrate it:
+
+     silkroute run -q q1 --trace-chrome trace.json
+     silkroute run -q q1 --diagnose --skew-stats Supplier=64
+     silkroute diagnose -q q1 --skew-stats Supplier=64 *)
 
 module R = Relational
 module S = Silkroute
@@ -154,6 +164,35 @@ let trace_json_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
 
+let trace_chrome_arg =
+  let doc =
+    "Write the recorded spans, events and counters as Chrome trace-event \
+     JSON to $(docv); load the file in Perfetto (ui.perfetto.dev) or \
+     chrome://tracing."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-chrome" ] ~docv:"FILE" ~doc)
+
+let diagnose_arg =
+  let doc =
+    "After executing, run the plan anomaly detector and print its report \
+     (estimated-vs-actual q-errors per operator, spills, resilience \
+     counters, event summary, GC pressure, hot paths) to stderr.  Implies \
+     tracing."
+  in
+  Arg.(value & flag & info [ "diagnose" ] ~doc)
+
+let skew_stats_arg =
+  let doc =
+    "Deliberately skew the catalog before planning: multiply TABLE's row \
+     count and per-column NDVs by FACTOR (repeatable).  Models a stale \
+     catalog; pair with $(b,--diagnose) to see the detector flag the \
+     resulting misestimates."
+  in
+  Arg.(
+    value & opt_all string []
+    & info [ "skew-stats" ] ~docv:"TABLE=FACTOR" ~doc)
+
 let metrics_arg =
   let doc =
     "Print the metrics registry (counters, gauges, histograms with \
@@ -176,17 +215,47 @@ let setup_logs verbose =
 
 (* Enable observability before any pipeline stage runs; emit the chosen
    sinks after everything finished. *)
-let setup_obs ~trace ~trace_json ~metrics ~profile =
-  if trace || metrics || profile || trace_json <> None then
-    Obs.Control.set_enabled true
+let setup_obs ?(trace_chrome = None) ?(diagnose = false) ~trace ~trace_json
+    ~metrics ~profile () =
+  if
+    trace || metrics || profile || diagnose || trace_json <> None
+    || trace_chrome <> None
+  then Obs.Control.set_enabled true
 
-let report_obs ~trace ~trace_json ~metrics ~profile =
+let report_obs ?(trace_chrome = None) ~trace ~trace_json ~metrics ~profile () =
   if trace then prerr_string (Obs.Report.render_spans ());
   if profile then prerr_string (Obs.Profile.render (Obs.Profile.capture ()));
   if metrics then prerr_string (Obs.Report.render_metrics ());
-  match trace_json with
+  (match trace_json with
   | Some path -> Obs.Jsonl.write_file path
+  | None -> ());
+  match trace_chrome with
+  | Some path -> Obs.Chrometrace.write_file path
   | None -> ()
+
+(* Corrupt the catalog on purpose (--skew-stats Table=Factor): forces the
+   lazy stats and scales the named tables in place, so every later
+   [Cost.annotate] sees the stale figures. *)
+let apply_skew (p : S.Middleware.prepared) specs =
+  if specs <> [] then begin
+    let st = Lazy.force p.S.Middleware.stats in
+    List.iter
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | None ->
+            invalid_arg ("--skew-stats expects TABLE=FACTOR, got: " ^ spec)
+        | Some i ->
+            let table = String.sub spec 0 i in
+            let factor =
+              try
+                float_of_string
+                  (String.sub spec (i + 1) (String.length spec - i - 1))
+              with Failure _ ->
+                invalid_arg ("--skew-stats: bad factor in: " ^ spec)
+            in
+            R.Stats.scale_table st table factor)
+      specs
+  end
 
 let parse_strategy s =
   match String.lowercase_ascii s with
@@ -229,15 +298,19 @@ let setup query view_file scale seed schema data =
 
 let run_cmd query view_file scale seed schema data strategy no_reduce pretty
     stream budget resilient fault_rate fault_seed retries explain verbose trace
-    trace_json metrics profile =
+    trace_json metrics profile trace_chrome diagnose skew =
   setup_logs verbose;
-  setup_obs ~trace ~trace_json ~metrics ~profile;
+  setup_obs ~trace_chrome ~diagnose ~trace ~trace_json ~metrics ~profile ();
   if (stream || resilient) && pretty then
     invalid_arg "--pretty requires the materialized path; drop --stream/--resilient";
   if fault_rate > 0.0 && not resilient then
     invalid_arg "--fault-rate requires --resilient";
   let db, p = setup query view_file scale seed schema data in
   ignore db;
+  apply_skew p skew;
+  let diagnose_report samples =
+    if diagnose then prerr_string (Obs.Diagnose.report samples)
+  in
   let plan = S.Middleware.partition_of p (parse_strategy strategy) in
   if resilient then begin
     let backend =
@@ -265,7 +338,8 @@ let run_cmd query view_file scale seed schema data strategy no_reduce pretty
       res.S.Middleware.r_submits res.S.Middleware.r_attempts
       res.S.Middleware.r_retries res.S.Middleware.r_faults
       res.S.Middleware.r_timeouts res.S.Middleware.r_degraded
-      res.S.Middleware.r_backoff_ms res.S.Middleware.r_wasted_work
+      res.S.Middleware.r_backoff_ms res.S.Middleware.r_wasted_work;
+    diagnose_report (S.Middleware.diagnose_samples_streaming p se)
   end
   else if stream then begin
     let se =
@@ -278,7 +352,8 @@ let run_cmd query view_file scale seed schema data strategy no_reduce pretty
       "[%d stream(s), %d tuples, %d work units, %.1f ms transfer, streamed]\n"
       (List.length se.S.Middleware.cursors)
       se.S.Middleware.s_tuples se.S.Middleware.s_work
-      se.S.Middleware.s_transfer_ms
+      se.S.Middleware.s_transfer_ms;
+    diagnose_report (S.Middleware.diagnose_samples_streaming p se)
   end
   else begin
     let e = S.Middleware.execute ~reduce:(not no_reduce) ~budget p plan in
@@ -289,9 +364,10 @@ let run_cmd query view_file scale seed schema data strategy no_reduce pretty
     else print_endline (S.Middleware.xml_string_of p e);
     Printf.eprintf "[%d stream(s), %d tuples, %d work units, %.1f ms transfer]\n"
       (List.length e.S.Middleware.streams)
-      e.S.Middleware.tuples e.S.Middleware.work e.S.Middleware.transfer_ms
+      e.S.Middleware.tuples e.S.Middleware.work e.S.Middleware.transfer_ms;
+    diagnose_report (S.Middleware.diagnose_samples p e)
   end;
-  report_obs ~trace ~trace_json ~metrics ~profile
+  report_obs ~trace_chrome ~trace ~trace_json ~metrics ~profile ()
 
 let explain_cmd query view_file scale seed schema data strategy no_reduce =
   let db, p = setup query view_file scale seed schema data in
@@ -305,8 +381,8 @@ let explain_cmd query view_file scale seed schema data strategy no_reduce =
   print_endline (S.Middleware.explain ~reduce:(not no_reduce) p plan)
 
 let plan_cmd query view_file scale seed schema data no_reduce trace trace_json
-    metrics profile =
-  setup_obs ~trace ~trace_json ~metrics ~profile;
+    metrics profile trace_chrome =
+  setup_obs ~trace_chrome ~trace ~trace_json ~metrics ~profile ();
   let db, p = setup query view_file scale seed schema data in
   let oracle = R.Cost.oracle db in
   let r =
@@ -319,7 +395,20 @@ let plan_cmd query view_file scale seed schema data no_reduce trace trace_json
   let best = S.Planner.best_plan p.S.Middleware.tree r in
   Printf.printf "best plan: %s (%d streams)\n" (S.Partition.to_string best)
     (S.Partition.stream_count best);
-  report_obs ~trace ~trace_json ~metrics ~profile
+  report_obs ~trace_chrome ~trace ~trace_json ~metrics ~profile ()
+
+(* Run the view materialized with tracing forced on, print only the
+   diagnostics report (to stdout — the report is the product here). *)
+let diagnose_cmd query view_file scale seed schema data strategy no_reduce
+    budget verbose skew =
+  setup_logs verbose;
+  Obs.Control.set_enabled true;
+  let db, p = setup query view_file scale seed schema data in
+  ignore db;
+  apply_skew p skew;
+  let plan = S.Middleware.partition_of p (parse_strategy strategy) in
+  let e = S.Middleware.execute ~reduce:(not no_reduce) ~budget p plan in
+  print_string (Obs.Diagnose.report (S.Middleware.diagnose_samples p e))
 
 let run_t =
   Term.(
@@ -327,7 +416,8 @@ let run_t =
     $ data_arg $ strategy_arg $ no_reduce_arg $ pretty_arg $ stream_arg
     $ budget_arg $ resilient_arg $ fault_rate_arg $ fault_seed_arg
     $ retries_arg $ explain_flag_arg $ verbose_arg $ trace_arg $ trace_json_arg
-    $ metrics_arg $ profile_arg)
+    $ metrics_arg $ profile_arg $ trace_chrome_arg $ diagnose_arg
+    $ skew_stats_arg)
 
 let explain_t =
   Term.(
@@ -338,7 +428,13 @@ let plan_t =
   Term.(
     const plan_cmd $ query_arg $ view_arg $ scale_arg $ seed_arg $ schema_arg
     $ data_arg $ no_reduce_arg $ trace_arg $ trace_json_arg $ metrics_arg
-    $ profile_arg)
+    $ profile_arg $ trace_chrome_arg)
+
+let diagnose_t =
+  Term.(
+    const diagnose_cmd $ query_arg $ view_arg $ scale_arg $ seed_arg
+    $ schema_arg $ data_arg $ strategy_arg $ no_reduce_arg $ budget_arg
+    $ verbose_arg $ skew_stats_arg)
 
 let cmds =
   [
@@ -350,6 +446,13 @@ let cmds =
             logical algebra and cost-annotated physical plan.")
       explain_t;
     Cmd.v (Cmd.info "plan" ~doc:"Run the greedy plan-generation algorithm.") plan_t;
+    Cmd.v
+      (Cmd.info "diagnose"
+         ~doc:
+           "Materialize the view with tracing on and print the plan \
+            diagnostics report: per-operator q-errors, spills, resilience \
+            counters, event summary, GC pressure and hot paths.")
+      diagnose_t;
   ]
 
 let () =

@@ -13,3 +13,14 @@ let value_to_string = function
   | Float x -> Printf.sprintf "%g" x
   | Bool b -> string_of_bool b
   | String s -> s
+
+(* The one attr-to-JSON encoder: every JSON-emitting sink (Jsonl,
+   Chrometrace) goes through these two, so the value mapping cannot
+   drift between exporters. *)
+let value_to_json = function
+  | Int n -> Json.Int n
+  | Float x -> Json.Float x
+  | Bool b -> Json.Bool b
+  | String s -> Json.String s
+
+let to_json (attrs : t) = Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) attrs)

@@ -1,0 +1,17 @@
+(** Chrome trace-event exporter.
+
+    Renders the global collectors — span tree, flight-recorder events,
+    counter/gauge metrics — as Chrome trace-event JSON
+    ([{"traceEvents": [...]}]), loadable in Perfetto or
+    chrome://tracing: complete events ("ph":"X") for finished spans,
+    instants ("ph":"i") for events, counters ("ph":"C") for metrics.
+    Timestamps are microseconds rebased to the trace's first span —
+    the same timeline the JSONL exporter describes. *)
+
+val trace_json : unit -> Json.t
+(** The whole trace as one JSON document. *)
+
+val to_string : unit -> string
+
+val write_file : string -> unit
+(** Writes {!to_string} (plus a trailing newline) to the given path. *)

@@ -1,0 +1,142 @@
+(* Structured event log with a flight recorder.
+
+   Spans answer "where did the time go"; events answer "what happened" —
+   a retry fired, a breaker opened, a sort spilled, a fragment cost came
+   from the planner cache.  Each event is a leveled, timestamped record
+   with the same typed attrs spans use.
+
+   Storage is a bounded ring buffer (the flight recorder): emission is
+   O(1), memory is capped, and when something goes badly wrong — a plan
+   timeout, a fatal backend error, a circuit breaker opening — the
+   instrumentation site calls [dump] and the last [capacity] events are
+   handed to the sink (stderr by default), newest context included,
+   oldest long-forgotten noise evicted.  Everything is gated on the
+   Control switch, so with observability off an emit site costs one
+   boolean test. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type t = {
+  seq : int; (* monotonic emission index, survives eviction *)
+  ts_ns : int64;
+  level : level;
+  name : string;
+  attrs : Attr.t;
+}
+
+(* --- ring buffer --------------------------------------------------------- *)
+
+let default_capacity = 256
+let buf : t option array ref = ref (Array.make default_capacity None)
+let head = ref 0 (* next write slot *)
+let count = ref 0 (* live entries, <= capacity *)
+let seq = ref 0 (* total recorded (evicted included) *)
+let threshold = ref Debug
+
+let capacity () = Array.length !buf
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Event.set_capacity: capacity must be >= 1";
+  buf := Array.make n None;
+  head := 0;
+  count := 0
+
+let set_threshold l = threshold := l
+
+let emit ?(attrs = []) level name =
+  if Control.is_enabled () && level_rank level >= level_rank !threshold then begin
+    let e = { seq = !seq; ts_ns = Clock.now_ns (); level; name; attrs } in
+    incr seq;
+    let b = !buf in
+    b.(!head) <- Some e;
+    head := (!head + 1) mod Array.length b;
+    if !count < Array.length b then incr count;
+    Metrics.incr ("events." ^ level_name level)
+  end
+
+let debug ?attrs name = emit ?attrs Debug name
+let info ?attrs name = emit ?attrs Info name
+let warn ?attrs name = emit ?attrs Warn name
+let error ?attrs name = emit ?attrs Error name
+
+(* Live ring contents, oldest first. *)
+let events () =
+  let b = !buf in
+  let cap = Array.length b in
+  let out = ref [] in
+  for i = 0 to !count - 1 do
+    (* newest is at head-1; walk backwards and cons *)
+    match b.((!head - 1 - i + (2 * cap)) mod cap) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let recorded () = !seq
+let dropped () = !seq - !count
+
+(* --- flight-recorder dump ------------------------------------------------ *)
+
+type dump = { reason : string; dumped : t list }
+
+let render (d : dump) =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "FLIGHT RECORDER — reason: %s, %d event(s) (%d evicted)\n"
+    d.reason (List.length d.dumped) (dropped ());
+  let base =
+    match d.dumped with [] -> 0L | e :: _ -> e.ts_ns
+  in
+  List.iter
+    (fun e ->
+      Printf.bprintf buf "  #%-4d %+9.3fms %-5s %s" e.seq
+        (Clock.ns_to_ms (Int64.sub e.ts_ns base))
+        (level_name e.level) e.name;
+      List.iter
+        (fun (k, v) -> Printf.bprintf buf " %s=%s" k (Attr.value_to_string v))
+        e.attrs;
+      Buffer.add_char buf '\n')
+    d.dumped;
+  Buffer.contents buf
+
+let default_sink d = prerr_string (render d)
+let sink = ref default_sink
+let set_dump_sink f = sink := f
+let use_default_sink () = sink := default_sink
+
+let dumps = ref 0
+let last_dump_reason : string option ref = ref None
+
+let dump ~reason =
+  if Control.is_enabled () then begin
+    incr dumps;
+    last_dump_reason := Some reason;
+    Metrics.incr "events.dumps";
+    !sink { reason; dumped = events () }
+  end
+
+let dump_count () = !dumps
+
+let reset () =
+  buf := Array.make default_capacity None;
+  head := 0;
+  count := 0;
+  seq := 0;
+  threshold := Debug;
+  sink := default_sink;
+  dumps := 0;
+  last_dump_reason := None

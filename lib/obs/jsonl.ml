@@ -1,15 +1,12 @@
 (* JSON-Lines exporter.
 
    One JSON object per line, "type" discriminated: spans first (start
-   order), then metrics (name order).  An optional "experiment" field
-   tags every record, so bench runs can concatenate experiments into one
-   file and still diff stage-level breakdowns run against run. *)
-
-let json_of_attr_value = function
-  | Attr.Int n -> Json.Int n
-  | Attr.Float x -> Json.Float x
-  | Attr.Bool b -> Json.Bool b
-  | Attr.String s -> Json.String s
+   order), then events (emission order), then profile nodes, then
+   metrics (name order).  An optional "experiment" field tags every
+   record, so bench runs can concatenate experiments into one file and
+   still diff stage-level breakdowns run against run.  Attr values are
+   encoded by the shared Attr.to_json, the same encoder Chrometrace
+   uses. *)
 
 let tagged experiment fields =
   match experiment with
@@ -35,10 +32,24 @@ let span_json ?experiment ?(base_ns = 0L) (s : Span.t) =
          ("name", Json.String s.Span.name);
          ("start_ns", Json.Int (Int64.to_int (Int64.sub s.Span.start_ns base_ns)));
          ("dur_ms", Json.Float (Span.duration_ms s));
-         ( "attrs",
-           Json.Obj
-             (List.map (fun (k, v) -> (k, json_of_attr_value v)) (Span.attrs s))
-         );
+         ("attrs", Attr.to_json (Span.attrs s));
+       ])
+
+(* Event timestamps are rebased like span starts (and clamped at zero in
+   case an event predates the trace's first span), so two runs under the
+   deterministic test clock stay byte-diffable. *)
+let event_json ?experiment ?(base_ns = 0L) (e : Event.t) =
+  Json.Obj
+    (tagged experiment
+       [
+         ("type", Json.String "event");
+         ("seq", Json.Int e.Event.seq);
+         ( "ts_ns",
+           Json.Int
+             (max 0 (Int64.to_int (Int64.sub e.Event.ts_ns base_ns))) );
+         ("level", Json.String (Event.level_name e.Event.level));
+         ("name", Json.String e.Event.name);
+         ("attrs", Attr.to_json e.Event.attrs);
        ])
 
 let metric_json ?experiment (name, snap) =
@@ -86,13 +97,27 @@ let profile_json ?experiment ~path (n : Profile.node) =
          ("rows", Json.Int n.Profile.rows);
          ("work", Json.Int n.Profile.work);
          ("bytes", Json.Int n.Profile.bytes);
+         ("minor_words", Json.Float n.Profile.minor_words);
+         ("major_words", Json.Float n.Profile.major_words);
+         ("compactions", Json.Int n.Profile.compactions);
        ])
 
 let to_lines ?experiment () =
   let spans = Span.spans () in
-  let base_ns = match spans with [] -> 0L | s :: _ -> s.Span.start_ns in
+  let events = Event.events () in
+  let base_ns =
+    match (spans, events) with
+    | s :: _, _ -> s.Span.start_ns
+    | [], e :: _ -> e.Event.ts_ns
+    | [], [] -> 0L
+  in
   let span_lines =
     List.map (fun s -> Json.to_string (span_json ?experiment ~base_ns s)) spans
+  in
+  let event_lines =
+    List.map
+      (fun e -> Json.to_string (event_json ?experiment ~base_ns e))
+      events
   in
   let profile_lines =
     List.rev
@@ -106,7 +131,7 @@ let to_lines ?experiment () =
     List.map (fun m -> Json.to_string (metric_json ?experiment m))
       (Metrics.snapshot ())
   in
-  span_lines @ profile_lines @ metric_lines
+  span_lines @ event_lines @ profile_lines @ metric_lines
 
 let write_channel ?experiment oc =
   List.iter

@@ -21,6 +21,9 @@ type node = {
   mutable rows : int;
   mutable work : int;
   mutable bytes : int;
+  mutable minor_words : float;
+  mutable major_words : float;
+  mutable compactions : int;
   mutable children_rev : node list; (* reverse first-seen order *)
 }
 
@@ -35,6 +38,9 @@ let fresh name =
     rows = 0;
     work = 0;
     bytes = 0;
+    minor_words = 0.0;
+    major_words = 0.0;
+    compactions = 0;
     children_rev = [];
   }
 
@@ -92,6 +98,12 @@ let of_spans (spans : Span.t list) =
       n.calls <- n.calls + 1;
       n.total_ms <- n.total_ms +. d;
       n.self_ms <- n.self_ms +. Float.max 0.0 (d -. kids);
+      if s.Span.finished then begin
+        (* GC deltas include descendants' allocation, like total_ms *)
+        n.minor_words <- n.minor_words +. s.Span.gc_minor_words;
+        n.major_words <- n.major_words +. s.Span.gc_major_words;
+        n.compactions <- n.compactions + s.Span.gc_compactions
+      end;
       List.iter
         (fun (k, v) ->
           match (k, v) with
@@ -145,7 +157,10 @@ let hot ?(top = 10) t =
       agg.self_ms <- agg.self_ms +. n.self_ms;
       agg.rows <- agg.rows + n.rows;
       agg.work <- agg.work + n.work;
-      agg.bytes <- agg.bytes + n.bytes)
+      agg.bytes <- agg.bytes + n.bytes;
+      agg.minor_words <- agg.minor_words +. n.minor_words;
+      agg.major_words <- agg.major_words +. n.major_words;
+      agg.compactions <- agg.compactions + n.compactions)
     t;
   let all = List.rev !order_rev in
   let sorted =
@@ -169,15 +184,21 @@ let bar width frac =
   in
   String.make n '#' ^ String.make (width - n) ' '
 
+(* Allocation columns print in kilowords: raw word counts dwarf every
+   other column, and sub-kiloword noise is not actionable. *)
+let kwords w = w /. 1000.0
+
 let render_tree_to buf t =
   bprintf buf "PROFILE — %d root(s), %.3fms total\n" (List.length t.roots)
     t.total_ms;
-  bprintf buf "%6s %11s %11s %12s %12s %12s  %-12s %s\n" "calls" "total(ms)"
-    "self(ms)" "rows" "work" "bytes" "share" "name";
+  bprintf buf "%6s %11s %11s %12s %12s %12s %10s %10s %5s  %-12s %s\n" "calls"
+    "total(ms)" "self(ms)" "rows" "work" "bytes" "minor(kw)" "major(kw)"
+    "compact" "share" "name";
   let grand = if t.total_ms > 0.0 then t.total_ms else 1.0 in
   let rec go depth n =
-    bprintf buf "%6d %11.3f %11.3f %12d %12d %12d  [%s] %s%s\n" n.calls
-      n.total_ms n.self_ms n.rows n.work n.bytes
+    bprintf buf "%6d %11.3f %11.3f %12d %12d %12d %10.1f %10.1f %5d  [%s] %s%s\n"
+      n.calls n.total_ms n.self_ms n.rows n.work n.bytes
+      (kwords n.minor_words) (kwords n.major_words) n.compactions
       (bar 10 (n.total_ms /. grand))
       (String.make (2 * depth) ' ')
       n.name;
@@ -204,14 +225,16 @@ let render_hot_to buf ?(top = 10) t =
   bprintf buf "HOT OPERATORS — top %d by self time (percentiles from \
                span.ms.* histograms)\n"
     (List.length rows);
-  bprintf buf "%-28s %6s %11s %11s %9s %9s %9s %12s %12s\n" "name" "calls"
-    "self(ms)" "total(ms)" "p50" "p90" "p99" "rows" "work";
+  bprintf buf "%-28s %6s %11s %11s %9s %9s %9s %12s %12s %10s %10s\n" "name"
+    "calls" "self(ms)" "total(ms)" "p50" "p90" "p99" "rows" "work" "minor(kw)"
+    "major(kw)";
   List.iter
     (fun n ->
       bprintf buf "%-28s %6d %11.3f %11.3f" n.name n.calls n.self_ms
         n.total_ms;
       pct_cell buf n.name;
-      bprintf buf " %12d %12d\n" n.rows n.work)
+      bprintf buf " %12d %12d %10.1f %10.1f\n" n.rows n.work
+        (kwords n.minor_words) (kwords n.major_words))
     rows
 
 let render_hot ?top t =

@@ -15,6 +15,12 @@ type node = {
   mutable rows : int;
   mutable work : int;
   mutable bytes : int;
+  mutable minor_words : float;
+      (** minor-heap words allocated during spans folded into this node
+          (descendants included, like [total_ms]); only finished spans
+          contribute *)
+  mutable major_words : float;
+  mutable compactions : int;
   mutable children_rev : node list;  (** reverse first-seen order *)
 }
 

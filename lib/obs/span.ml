@@ -20,7 +20,25 @@ type t = {
   mutable end_ns : int64;
   mutable attr_rev : Attr.t; (* reverse insertion order *)
   mutable finished : bool;
+  (* GC telemetry: the open snapshot lives in these fields until
+     [finish] replaces it with the delta over the span, so an extra
+     snapshot record per span is never allocated.  Meaningful only once
+     [finished]. *)
+  mutable gc_minor_words : float;
+  mutable gc_major_words : float;
+  mutable gc_compactions : int;
 }
+
+(* Swappable allocation counter, [Clock.set_source]-style: the default
+   reads [Gc.quick_stat] (cheap — no heap walk); tests install a
+   deterministic counter so GC deltas are reproducible. *)
+let default_gc_source () =
+  let s = Gc.quick_stat () in
+  (s.Gc.minor_words, s.Gc.major_words, s.Gc.compactions)
+
+let gc_source = ref default_gc_source
+let set_gc_source f = gc_source := f
+let use_default_gc_source () = gc_source := default_gc_source
 
 let next_id = ref 0
 let stack : t list ref = ref [] (* open spans, innermost first *)
@@ -55,6 +73,10 @@ let set_name name =
 
 let finish s =
   s.end_ns <- Clock.now_ns ();
+  (let minor, major, compactions = !gc_source () in
+   s.gc_minor_words <- minor -. s.gc_minor_words;
+   s.gc_major_words <- major -. s.gc_major_words;
+   s.gc_compactions <- compactions - s.gc_compactions);
   s.finished <- true;
   (match !stack with
   | top :: rest when top == s -> stack := rest
@@ -72,6 +94,7 @@ let with_span ?(attrs = []) name f =
       match !stack with [] -> (None, 0) | p :: _ -> (Some p.id, p.depth + 1)
     in
     incr next_id;
+    let minor0, major0, compactions0 = !gc_source () in
     let s =
       {
         id = !next_id;
@@ -82,6 +105,9 @@ let with_span ?(attrs = []) name f =
         end_ns = 0L;
         attr_rev = List.rev attrs;
         finished = false;
+        gc_minor_words = minor0;
+        gc_major_words = major0;
+        gc_compactions = compactions0;
       }
     in
     stack := s :: !stack;

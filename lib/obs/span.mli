@@ -12,6 +12,11 @@ type t = {
   mutable end_ns : int64;
   mutable attr_rev : Attr.t;
   mutable finished : bool;
+  mutable gc_minor_words : float;
+      (** minor words allocated during the span — meaningful only once
+          [finished] (holds the open snapshot until then) *)
+  mutable gc_major_words : float;
+  mutable gc_compactions : int;
 }
 
 val with_span : ?attrs:Attr.t -> string -> (unit -> 'a) -> 'a
@@ -40,3 +45,11 @@ val attrs : t -> Attr.t
 
 val duration_ms : t -> float
 val reset : unit -> unit
+
+val set_gc_source : (unit -> float * float * int) -> unit
+(** Replaces the allocation counter sampled at span open/close with a
+    custom [(minor_words, major_words, compactions)] source — tests
+    install a deterministic counter, like {!Clock.set_source}. *)
+
+val use_default_gc_source : unit -> unit
+(** Restores the [Gc.quick_stat] source. *)

@@ -194,7 +194,16 @@ let note_failure t =
     | Open _ -> ()
     | Closed _ | Half_open ->
         t.st.breaker_opens <- t.st.breaker_opens + 1;
-        Obs.Metrics.incr "backend.breaker_opens");
+        Obs.Metrics.incr "backend.breaker_opens";
+        if Obs.Span.tracing () then begin
+          Obs.Event.error "backend.breaker_open"
+            ~attrs:
+              [
+                Obs.Attr.int "failures" failures;
+                Obs.Attr.float "cooldown_ms" t.breaker.cooldown_ms;
+              ];
+          Obs.Event.dump ~reason:"breaker-open"
+        end);
     t.breaker_state <- Open (t.clk.now_ms () +. t.breaker.cooldown_ms)
   end
   else t.breaker_state <- Closed failures
@@ -208,6 +217,9 @@ let check_breaker t =
       if t.clk.now_ms () >= until then t.breaker_state <- Half_open
       else begin
         t.st.breaker_rejections <- t.st.breaker_rejections + 1;
+        if Obs.Span.tracing () then
+          Obs.Event.debug "backend.circuit_rejected"
+            ~attrs:[ Obs.Attr.float "retry_at_ms" until ];
         raise (Circuit_open { retry_at_ms = until })
       end
 
@@ -232,6 +244,14 @@ let wrap_cursor t ~attempt ~trip_after cur =
         | Some n when !delivered >= n ->
             t.st.faults_midstream <- t.st.faults_midstream + 1;
             record_fault ();
+            if Obs.Span.tracing () then
+              Obs.Event.warn "backend.fault"
+                ~attrs:
+                  [
+                    Obs.Attr.string "kind" "midstream";
+                    Obs.Attr.int "attempt" attempt;
+                    Obs.Attr.int "rows_delivered" !delivered;
+                  ];
             note_failure t;
             raise
               (Backend_error
@@ -266,6 +286,15 @@ let submit_attempt t ~attempt (q : Sql.query) : Cursor.t * Executor.stats =
       if next_float t.prng < t.fault_cfg.fatal_weight then begin
         t.st.faults_fatal <- t.st.faults_fatal + 1;
         record_fault ();
+        if Obs.Span.tracing () then begin
+          Obs.Event.error "backend.fatal"
+            ~attrs:
+              [
+                Obs.Attr.string "kind" "fatal";
+                Obs.Attr.int "attempt" attempt;
+              ];
+          Obs.Event.dump ~reason:"backend-fatal"
+        end;
         note_failure t;
         raise
           (Backend_error
@@ -282,6 +311,13 @@ let submit_attempt t ~attempt (q : Sql.query) : Cursor.t * Executor.stats =
       else begin
         t.st.faults_transient <- t.st.faults_transient + 1;
         record_fault ();
+        if Obs.Span.tracing () then
+          Obs.Event.warn "backend.fault"
+            ~attrs:
+              [
+                Obs.Attr.string "kind" "transient";
+                Obs.Attr.int "attempt" attempt;
+              ];
         note_failure t;
         raise
           (Backend_error
@@ -304,6 +340,13 @@ let submit_attempt t ~attempt (q : Sql.query) : Cursor.t * Executor.stats =
       (* the engine gave up right at the budget: that much work is sunk *)
       t.st.wasted_work <- t.st.wasted_work + t.budget;
       Obs.Metrics.incr "backend.timeouts";
+      if Obs.Span.tracing () then
+        Obs.Event.error "backend.timeout"
+          ~attrs:
+            [
+              Obs.Attr.int "attempt" attempt;
+              Obs.Attr.int "budget" t.budget;
+            ];
       note_failure t;
       raise
         (Backend_error
@@ -373,13 +416,21 @@ let execute ?(label = "") ?(on_attempt = fun (_ : int) -> ())
         else begin
           let wait = backoff_ms t ~attempt:k in
           Obs.Span.with_span "backend.retry" (fun () ->
-              if Obs.Span.tracing () then
+              if Obs.Span.tracing () then begin
                 Obs.Span.add_list
                   [
                     Obs.Attr.string "label" label;
                     Obs.Attr.int "attempt" k;
                     Obs.Attr.float "backoff_ms" wait;
                   ];
+                Obs.Event.warn "backend.retry"
+                  ~attrs:
+                    [
+                      Obs.Attr.string "label" label;
+                      Obs.Attr.int "attempt" k;
+                      Obs.Attr.float "backoff_ms" wait;
+                    ]
+              end;
               t.clk.sleep_ms wait);
           t.st.retries <- t.st.retries + 1;
           t.st.backoff_ms <- t.st.backoff_ms +. wait;

@@ -489,7 +489,16 @@ and eval_sorted ctx (q : Sql.query) : string array * Tuple.t list =
               Obs.Attr.int "work" (ctx.st.work - work0);
             ];
           Obs.Metrics.observe "exec.sort.bytes" (float_of_int bytes);
-          if spills > 0 then Obs.Metrics.incr ~by:spills "exec.spill_passes"
+          if spills > 0 then begin
+            Obs.Metrics.incr ~by:spills "exec.spill_passes";
+            Obs.Event.warn "exec.spill"
+              ~attrs:
+                [
+                  Obs.Attr.int "rows" (List.length result.tuples);
+                  Obs.Attr.int "bytes" bytes;
+                  Obs.Attr.int "passes" spills;
+                ]
+          end
         end;
         List.stable_sort cmp result.tuples)
   in
@@ -704,7 +713,16 @@ and exec_sort ctx (n : P.node) keys (pairs : (int * Tuple.t) list) :
             Obs.Attr.int "work" (ctx.st.work - work0);
           ];
         Obs.Metrics.observe "exec.sort.bytes" (float_of_int bytes);
-        if spills > 0 then Obs.Metrics.incr ~by:spills "exec.spill_passes"
+        if spills > 0 then begin
+          Obs.Metrics.incr ~by:spills "exec.spill_passes";
+          Obs.Event.warn "exec.spill"
+            ~attrs:
+              [
+                Obs.Attr.int "rows" (List.length pairs);
+                Obs.Attr.int "bytes" bytes;
+                Obs.Attr.int "passes" spills;
+              ]
+        end
       end;
       List.stable_sort cmp pairs)
 

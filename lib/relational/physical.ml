@@ -320,3 +320,28 @@ let emit_obs_spans (p : plan) =
                   ]
               | _ -> [])))
       p
+
+(* Flatten a (cost-annotated, executed) plan into the generic samples
+   the lib/obs anomaly detector consumes — obs cannot see this module,
+   so the adapter lives on this side of the dependency edge. *)
+let diagnose_samples ~stream (p : plan) : Obs.Diagnose.sample list =
+  let acc = ref [] in
+  iter
+    (fun n ->
+      let spills =
+        match n.shape with Sort { act_spills; _ } -> max 0 act_spills | _ -> 0
+      in
+      acc :=
+        {
+          Obs.Diagnose.d_stream = stream;
+          d_node = n.id;
+          d_op = op_name n;
+          d_est_rows = n.est_rows;
+          d_act_rows = n.act_rows;
+          d_est_cost = n.est_cost;
+          d_act_cost = n.act_cost;
+          d_spills = spills;
+        }
+        :: !acc)
+    p;
+  List.rev !acc

@@ -91,3 +91,9 @@ val to_string : plan -> string
 val emit_obs_spans : plan -> unit
 (** One [plan.physical] span per operator (op, algorithm, estimated vs
     actual rows and cost); no-op when tracing is off. *)
+
+val diagnose_samples : stream:string -> plan -> Obs.Diagnose.sample list
+(** Flattens the plan (pre-order) into the generic per-operator records
+    the {!Obs.Diagnose} anomaly detector consumes; [stream] labels every
+    sample.  Estimates/actuals are whatever [Cost.annotate] and the
+    executor left on the nodes (negative when missing). *)

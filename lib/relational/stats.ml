@@ -50,6 +50,26 @@ let analyze db : t =
     (Database.table_names db);
   { by_table }
 
+(* Deliberately skew one table's statistics: multiply its row count and
+   per-column NDVs by [factor] (clamped to >= 1 row / 1 value).  This is
+   the diagnostics test fixture — a stale or wrong catalog entry — that
+   `run --diagnose --skew-stats` uses to prove the anomaly detector
+   flags the resulting misestimates. *)
+let scale_table t name factor =
+  if factor <= 0.0 then invalid_arg "Stats.scale_table: factor must be > 0";
+  match Hashtbl.find_opt t.by_table name with
+  | None -> invalid_arg (Printf.sprintf "Stats.scale_table: no table %s" name)
+  | Some ts ->
+      let scale n = max 1 (int_of_float (float_of_int n *. factor)) in
+      Hashtbl.replace t.by_table name
+        {
+          row_count = scale ts.row_count;
+          columns =
+            List.map
+              (fun (c, cs) -> (c, { cs with distinct = scale cs.distinct }))
+              ts.columns;
+        }
+
 let table t name = Hashtbl.find_opt t.by_table name
 
 let table_exn t name =

@@ -23,6 +23,13 @@ val analyze_table : Database.t -> string -> table_stats
 val analyze : Database.t -> t
 (** Analyzes every table in the catalog. *)
 
+val scale_table : t -> string -> float -> unit
+(** Deliberately skews one table's catalog entry in place: row count and
+    per-column NDVs are multiplied by the factor (clamped to >= 1).
+    Diagnostics fixture — models a stale catalog so the {!Obs.Diagnose}
+    detector has a misestimate to flag.  Raises [Invalid_argument] on an
+    unknown table or a non-positive factor. *)
+
 val table : t -> string -> table_stats option
 val table_exn : t -> string -> table_stats
 val column : t -> string -> string -> column_stats option

@@ -148,7 +148,7 @@ let run_stream_query ~runner ~print_sql ~budget ~profile (p : prepared) i
     try runner ~budget ~profile p.db plan
     with R.Executor.Timeout ->
       let elapsed = now_ms () -. t0 in
-      if Obs.Span.tracing () then
+      if Obs.Span.tracing () then begin
         Obs.Span.add_list
           [
             Obs.Attr.bool "timeout" true;
@@ -156,6 +156,15 @@ let run_stream_query ~runner ~print_sql ~budget ~profile (p : prepared) i
             Obs.Attr.string "timeout.root" root_name;
             Obs.Attr.float "timeout.elapsed_ms" elapsed;
           ];
+        Obs.Event.error "middleware.plan_timeout"
+          ~attrs:
+            [
+              Obs.Attr.int "stream" i;
+              Obs.Attr.string "root" root_name;
+              Obs.Attr.float "elapsed_ms" elapsed;
+            ];
+        Obs.Event.dump ~reason:"plan-timeout"
+      end;
       raise
         (Plan_timeout
            {
@@ -443,6 +452,27 @@ let explain_streaming (p : prepared) (se : streaming) : string =
            ~sql:sc.sc_sql sc.sc_plan ~logical:(R.Algebra.to_string alg))
        se.s_per_stream)
 
+(* --- plan diagnostics --------------------------------------------------- *)
+
+(* Flatten every stream's physical plan into the generic per-operator
+   records the anomaly detector consumes, labelled by fragment root. *)
+let diagnose_samples (p : prepared) (e : execution) : Obs.Diagnose.sample list =
+  List.concat_map
+    (fun (se : stream_exec) ->
+      R.Physical.diagnose_samples
+        ~stream:(root_name_of p se.se_stream)
+        se.se_plan)
+    e.per_stream
+
+let diagnose_samples_streaming (p : prepared) (se : streaming) :
+    Obs.Diagnose.sample list =
+  List.concat_map
+    (fun (sc : stream_cursor) ->
+      R.Physical.diagnose_samples
+        ~stream:(root_name_of p sc.sc_stream)
+        sc.sc_plan)
+    se.s_per_stream
+
 (* --- resilient execution ----------------------------------------------- *)
 
 (* What resilience cost: counters diffed over the backend's stats across
@@ -571,7 +601,7 @@ let execute_resilient ?(style = Sql_gen.Outer_join) ?(reduce = false)
             | Some frags ->
                 incr degraded;
                 Obs.Metrics.incr "middleware.degraded_streams";
-                if Obs.Span.tracing () then
+                if Obs.Span.tracing () then begin
                   Obs.Span.add_list
                     [
                       Obs.Attr.bool "degraded" true;
@@ -579,6 +609,14 @@ let execute_resilient ?(style = Sql_gen.Outer_join) ?(reduce = false)
                       Obs.Attr.string "degraded.kind" (R.Backend.kind_name kind);
                       Obs.Attr.int "degraded.fragments" (List.length frags);
                     ];
+                  Obs.Event.warn "middleware.degraded"
+                    ~attrs:
+                      [
+                        Obs.Attr.string "root" info.timeout_root;
+                        Obs.Attr.string "kind" (R.Backend.kind_name kind);
+                        Obs.Attr.int "fragments" (List.length frags);
+                      ]
+                end;
                 Log.info (fun m ->
                     m "degrading stream %d (root %s, %s): splitting into %d \
                        finer sub-queries"
@@ -592,7 +630,18 @@ let execute_resilient ?(style = Sql_gen.Outer_join) ?(reduce = false)
                   frags
             | None -> (
                 match kind with
-                | R.Backend.Timeout -> raise (Plan_timeout info)
+                | R.Backend.Timeout ->
+                    if Obs.Span.tracing () then begin
+                      Obs.Event.error "middleware.plan_timeout"
+                        ~attrs:
+                          [
+                            Obs.Attr.int "stream" i;
+                            Obs.Attr.string "root" info.timeout_root;
+                            Obs.Attr.float "elapsed_ms" elapsed;
+                          ];
+                      Obs.Event.dump ~reason:"plan-timeout"
+                    end;
+                    raise (Plan_timeout info)
                 | _ -> raise exn)))
   in
   let per_stream =

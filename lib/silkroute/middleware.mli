@@ -154,6 +154,17 @@ val explain_streaming : prepared -> streaming -> string
 (** {!explain_execution} for the streaming path (plans come from
     [sc_plan]); does not touch the cursors. *)
 
+val diagnose_samples : prepared -> execution -> Obs.Diagnose.sample list
+(** Per-operator estimated-vs-actual records for every stream's physical
+    plan, labelled by fragment root — input for {!Obs.Diagnose}.
+    Estimates are present only if the execution ran with tracing on
+    (that is when [Cost.annotate] fires); missing figures are
+    negative and skipped by the detector. *)
+
+val diagnose_samples_streaming : prepared -> streaming -> Obs.Diagnose.sample list
+(** {!diagnose_samples} for the streaming/resilient path (plans come
+    from [sc_plan]); does not touch the cursors. *)
+
 (** What resilience cost during one {!execute_resilient} run: counters
     diffed over the backend's {!Relational.Backend.stats}, plus the
     number of streams that had to be degraded to finer fragments.  All

@@ -63,9 +63,20 @@ let gen_plan ?(reduce = false) (db : R.Database.t) (oracle : R.Cost.oracle)
   let cache_hits = ref 0 in
   let cost_of members =
     let key = List.sort compare members in
+    let members_str () =
+      String.concat "," (List.map string_of_int key)
+    in
     match Hashtbl.find_opt cache key with
     | Some c ->
         incr cache_hits;
+        if Obs.Span.tracing () then
+          Obs.Event.debug "planner.cache"
+            ~attrs:
+              [
+                Obs.Attr.string "members" (members_str ());
+                Obs.Attr.bool "hit" true;
+                Obs.Attr.float "cost" c;
+              ];
         c
     | None ->
         let frag = fragment_of tree key in
@@ -73,6 +84,14 @@ let gen_plan ?(reduce = false) (db : R.Database.t) (oracle : R.Cost.oracle)
         let est = R.Cost.ask oracle stream.Sql_gen.query in
         let c = R.Cost.cost ~a:params.a ~b:params.b est in
         Hashtbl.replace cache key c;
+        if Obs.Span.tracing () then
+          Obs.Event.debug "planner.cache"
+            ~attrs:
+              [
+                Obs.Attr.string "members" (members_str ());
+                Obs.Attr.bool "hit" false;
+                Obs.Attr.float "cost" c;
+              ];
         c
   in
   (* fragments as a union-find over node ids *)

@@ -1,0 +1,303 @@
+(* The structured event log and flight recorder: ring wraparound, level
+   filtering, gating, dump plumbing, dump-on-timeout and
+   dump-on-breaker-open through the real middleware/backend paths,
+   deterministic event sequences under identical fault seeds, GC
+   telemetry on spans, and the q-error anomaly detector. *)
+
+open Silkroute
+module R = Relational
+module B = Relational.Backend
+
+let install_test_clock () =
+  let t = ref 0L in
+  Obs.Clock.set_source (fun () ->
+      t := Int64.add !t 1_000L;
+      !t)
+
+let with_obs f =
+  install_test_clock ();
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  Obs.Event.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.reset ();
+      Obs.Metrics.reset ();
+      Obs.Event.reset ();
+      Obs.Span.use_default_gc_source ();
+      Obs.Clock.use_default ())
+    (fun () -> Obs.Control.with_enabled true f)
+
+let tpch scale = Tpch.Gen.generate (Tpch.Gen.config scale)
+let supplier_q = "SELECT s.name AS n FROM Supplier AS s ORDER BY n"
+
+let names () = List.map (fun (e : Obs.Event.t) -> e.Obs.Event.name) (Obs.Event.events ())
+
+(* --- ring buffer --------------------------------------------------------- *)
+
+let test_ring_wraparound () =
+  with_obs (fun () ->
+      Obs.Event.set_capacity 4;
+      for i = 0 to 5 do
+        Obs.Event.info (Printf.sprintf "e%d" i)
+      done;
+      Alcotest.(check (list string))
+        "last capacity events retained, oldest first"
+        [ "e2"; "e3"; "e4"; "e5" ] (names ());
+      Alcotest.(check (list int))
+        "seq survives eviction" [ 2; 3; 4; 5 ]
+        (List.map (fun (e : Obs.Event.t) -> e.Obs.Event.seq) (Obs.Event.events ()));
+      Alcotest.(check int) "all emissions recorded" 6 (Obs.Event.recorded ());
+      Alcotest.(check int) "two evicted" 2 (Obs.Event.dropped ()))
+
+let test_level_filtering () =
+  with_obs (fun () ->
+      Obs.Event.set_threshold Obs.Event.Warn;
+      Obs.Event.debug "d";
+      Obs.Event.info "i";
+      Obs.Event.warn "w";
+      Obs.Event.error "e";
+      Alcotest.(check (list string)) "below threshold dropped" [ "w"; "e" ] (names ());
+      Alcotest.(check (option int))
+        "counter only for recorded levels" None
+        (Obs.Metrics.counter_value "events.debug");
+      Alcotest.(check (option int))
+        "warn counted" (Some 1)
+        (Obs.Metrics.counter_value "events.warn"))
+
+let test_disabled_is_silent () =
+  with_obs (fun () ->
+      Obs.Control.with_enabled false (fun () ->
+          Obs.Event.error "boom";
+          Obs.Event.dump ~reason:"nope");
+      Alcotest.(check (list string)) "nothing recorded" [] (names ());
+      Alcotest.(check int) "no dumps" 0 (Obs.Event.dump_count ()))
+
+let test_dump_sink () =
+  with_obs (fun () ->
+      let captured = ref [] in
+      Obs.Event.set_dump_sink (fun d -> captured := d :: !captured);
+      Obs.Event.warn "before-dump" ~attrs:[ Obs.Attr.int "n" 7 ];
+      Obs.Event.dump ~reason:"unit-test";
+      match !captured with
+      | [ d ] ->
+          Alcotest.(check string) "reason" "unit-test" d.Obs.Event.reason;
+          Alcotest.(check (list string))
+            "ring contents handed to sink" [ "before-dump" ]
+            (List.map (fun (e : Obs.Event.t) -> e.Obs.Event.name) d.Obs.Event.dumped);
+          Alcotest.(check bool)
+            "render mentions reason and event" true
+            (let r = Obs.Event.render d in
+             let has needle =
+               let nl = String.length needle and rl = String.length r in
+               let rec go i = i + nl <= rl && (String.sub r i nl = needle || go (i + 1)) in
+               go 0
+             in
+             has "unit-test" && has "before-dump" && has "n=7")
+      | ds -> Alcotest.failf "expected 1 dump, got %d" (List.length ds))
+
+(* --- dumps from the real pipeline ---------------------------------------- *)
+
+let test_dump_on_plan_timeout () =
+  with_obs (fun () ->
+      let captured = ref [] in
+      Obs.Event.set_dump_sink (fun d -> captured := d :: !captured);
+      let db = tpch 0.1 in
+      let p = Middleware.prepare_text db Queries.query1_text in
+      (try
+         ignore
+           (Middleware.execute ~budget:10 p (Partition.unified p.Middleware.tree));
+         Alcotest.fail "tiny budget must time out"
+       with Middleware.Plan_timeout _ -> ());
+      match !captured with
+      | [ d ] ->
+          Alcotest.(check string) "reason" "plan-timeout" d.Obs.Event.reason;
+          Alcotest.(check bool)
+            "the timeout event itself is in the ring" true
+            (List.exists
+               (fun (e : Obs.Event.t) ->
+                 e.Obs.Event.name = "middleware.plan_timeout"
+                 && e.Obs.Event.level = Obs.Event.Error)
+               d.Obs.Event.dumped)
+      | ds -> Alcotest.failf "expected 1 dump, got %d" (List.length ds))
+
+let test_dump_on_breaker_open () =
+  with_obs (fun () ->
+      let captured = ref [] in
+      Obs.Event.set_dump_sink (fun d -> captured := d :: !captured);
+      let db = tpch 0.1 in
+      let backend =
+        B.create
+          ~faults:(B.faults ~midstream_weight:0.0 1.0)
+          ~retry:{ B.default_retry with B.max_retries = 3 }
+          ~breaker:{ B.failure_threshold = 2; cooldown_ms = 1000.0 }
+          db
+      in
+      (try ignore (B.execute backend (R.Sql_parser.parse supplier_q))
+       with B.Backend_error _ | B.Circuit_open _ -> ());
+      let reasons = List.map (fun d -> d.Obs.Event.reason) !captured in
+      Alcotest.(check bool)
+        "breaker-open dump fired" true
+        (List.mem "breaker-open" reasons);
+      Alcotest.(check bool)
+        "warn fault events recorded" true
+        (List.exists
+           (fun (e : Obs.Event.t) -> e.Obs.Event.name = "backend.fault")
+           (Obs.Event.events ())))
+
+let test_deterministic_sequence () =
+  let run () =
+    install_test_clock ();
+    Obs.Span.reset ();
+    Obs.Metrics.reset ();
+    Obs.Event.reset ();
+    Obs.Control.with_enabled true (fun () ->
+        let db = tpch 0.1 in
+        let backend =
+          B.create
+            ~faults:(B.faults ~seed:7 0.8)
+            ~retry:{ B.default_retry with B.max_retries = 4 }
+            db
+        in
+        (try ignore (B.execute backend (R.Sql_parser.parse supplier_q))
+         with B.Backend_error _ | B.Circuit_open _ -> ());
+        List.map
+          (fun (e : Obs.Event.t) ->
+            ( e.Obs.Event.seq,
+              e.Obs.Event.ts_ns,
+              Obs.Event.level_name e.Obs.Event.level,
+              e.Obs.Event.name,
+              List.map
+                (fun (k, v) -> (k, Obs.Attr.value_to_string v))
+                e.Obs.Event.attrs ))
+          (Obs.Event.events ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.reset ();
+      Obs.Metrics.reset ();
+      Obs.Event.reset ();
+      Obs.Clock.use_default ())
+    (fun () ->
+      let a = run () and b = run () in
+      Alcotest.(check bool) "some events were emitted" true (a <> []);
+      Alcotest.(check bool)
+        "identical seed, clock => identical event sequence" true (a = b))
+
+(* --- GC telemetry --------------------------------------------------------- *)
+
+let test_span_gc_deltas () =
+  with_obs (fun () ->
+      (* fake GC source: every reading adds 100 minor words, 10 major
+         words, 1 compaction *)
+      let minor = ref 0.0 and major = ref 0.0 and compactions = ref 0 in
+      Obs.Span.set_gc_source (fun () ->
+          minor := !minor +. 100.0;
+          major := !major +. 10.0;
+          incr compactions;
+          (!minor, !major, !compactions));
+      Obs.Span.with_span "outer" (fun () ->
+          Obs.Span.with_span "inner" (fun () -> ()));
+      let span name =
+        List.find
+          (fun (s : Obs.Span.t) -> s.Obs.Span.name = name)
+          (Obs.Span.spans ())
+      in
+      (* outer: open reading 1, close reading 4 -> 3 deltas; inner: open
+         reading 2, close reading 3 -> 1 delta *)
+      Alcotest.(check (float 1e-9)) "outer minor delta" 300.0
+        (span "outer").Obs.Span.gc_minor_words;
+      Alcotest.(check (float 1e-9)) "inner minor delta" 100.0
+        (span "inner").Obs.Span.gc_minor_words;
+      Alcotest.(check (float 1e-9)) "outer major delta" 30.0
+        (span "outer").Obs.Span.gc_major_words;
+      Alcotest.(check int) "outer compactions" 3
+        (span "outer").Obs.Span.gc_compactions;
+      let prof = Obs.Profile.capture () in
+      let node =
+        List.find
+          (fun n -> n.Obs.Profile.name = "outer")
+          prof.Obs.Profile.roots
+      in
+      (* outer's own delta already spans the inner interval, so the
+         profile node carries it without double-counting *)
+      Alcotest.(check (float 1e-9))
+        "profile aggregates include descendants" 300.0
+        node.Obs.Profile.minor_words)
+
+(* --- anomaly detector ----------------------------------------------------- *)
+
+let test_qerror () =
+  Alcotest.(check (float 1e-9)) "perfect" 1.0 (Obs.Diagnose.qerror ~est:5.0 ~act:5.0);
+  Alcotest.(check (float 1e-9)) "overestimate" 8.0
+    (Obs.Diagnose.qerror ~est:80.0 ~act:10.0);
+  Alcotest.(check (float 1e-9)) "underestimate symmetric" 8.0
+    (Obs.Diagnose.qerror ~est:10.0 ~act:80.0);
+  Alcotest.(check (float 1e-9)) "clamped below one" 4.0
+    (Obs.Diagnose.qerror ~est:4.0 ~act:0.0)
+
+let sample ?(node = 0) ?(op = "scan") ?(est_rows = -1.0) ?(act_rows = -1)
+    ?(est_cost = -1.0) ?(act_cost = -1) ?(spills = 0) stream =
+  {
+    Obs.Diagnose.d_stream = stream;
+    d_node = node;
+    d_op = op;
+    d_est_rows = est_rows;
+    d_act_rows = act_rows;
+    d_est_cost = est_cost;
+    d_act_cost = act_cost;
+    d_spills = spills;
+  }
+
+let test_findings () =
+  let samples =
+    [
+      (* rows off by 64x, cost fine *)
+      sample "S1" ~node:1 ~est_rows:640.0 ~act_rows:10 ~est_cost:100.0
+        ~act_cost:100;
+      (* within threshold *)
+      sample "S1" ~node:2 ~est_rows:30.0 ~act_rows:10;
+      (* missing actuals: skipped *)
+      sample "S2" ~node:3 ~est_rows:1e6;
+    ]
+  in
+  let fs = Obs.Diagnose.findings samples in
+  Alcotest.(check int) "one finding" 1 (List.length fs);
+  let f = List.hd fs in
+  Alcotest.(check string) "stream" "S1" f.Obs.Diagnose.f_stream;
+  Alcotest.(check int) "node" 1 f.Obs.Diagnose.f_node;
+  Alcotest.(check (float 1e-9)) "qerr" 64.0 f.Obs.Diagnose.f_qerr;
+  Alcotest.(check bool) "rows metric" true (f.Obs.Diagnose.f_metric = Obs.Diagnose.Rows);
+  with_obs (fun () ->
+      Obs.Diagnose.emit_findings fs;
+      Alcotest.(check (option int))
+        "one warn event per finding" (Some 1)
+        (Obs.Metrics.counter_value "events.warn"))
+
+let test_findings_sorted () =
+  let samples =
+    [
+      sample "S1" ~node:1 ~est_rows:50.0 ~act_rows:10;
+      sample "S1" ~node:2 ~est_rows:1000.0 ~act_rows:10;
+    ]
+  in
+  match Obs.Diagnose.findings samples with
+  | [ a; b ] ->
+      Alcotest.(check int) "worst first" 2 a.Obs.Diagnose.f_node;
+      Alcotest.(check int) "then milder" 1 b.Obs.Diagnose.f_node
+  | fs -> Alcotest.failf "expected 2 findings, got %d" (List.length fs)
+
+let suite =
+  [
+    Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "level filtering" `Quick test_level_filtering;
+    Alcotest.test_case "disabled is silent" `Quick test_disabled_is_silent;
+    Alcotest.test_case "dump sink" `Quick test_dump_sink;
+    Alcotest.test_case "dump on plan timeout" `Quick test_dump_on_plan_timeout;
+    Alcotest.test_case "dump on breaker open" `Quick test_dump_on_breaker_open;
+    Alcotest.test_case "deterministic sequence" `Quick test_deterministic_sequence;
+    Alcotest.test_case "span GC deltas" `Quick test_span_gc_deltas;
+    Alcotest.test_case "q-error" `Quick test_qerror;
+    Alcotest.test_case "findings" `Quick test_findings;
+    Alcotest.test_case "findings sorted" `Quick test_findings_sorted;
+  ]

@@ -44,5 +44,6 @@ let () =
       ("differential", Test_differential.suite);
       ("obs", Test_obs.suite);
       ("profile", Test_profile.suite);
+      ("event+diagnose", Test_event.suite);
       qcheck "random-views:props" Test_random_views.props;
     ]

@@ -1,0 +1,78 @@
+(* Validate a Chrome trace-event JSON file: it must parse, carry a
+   non-empty "traceEvents" array of objects each with a "ph" phase, and
+   — for every NAME passed after the file — contain at least one
+   complete ("ph":"X") event with that name.  The names are the pipeline
+   stages the smoke test expects to see spanned, so a silently dropped
+   stage fails loudly.
+
+   usage: check_chrometrace FILE.json [NAME...]
+   Exit status 0 on success, 1 with a diagnostic otherwise. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "check_chrometrace: %s\n" msg;
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let str_member key j =
+  match Obs.Json.member key j with
+  | Some (Obs.Json.String s) -> Some s
+  | _ -> None
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: check_chrometrace FILE.json [NAME...]";
+    exit 2
+  end;
+  let path = Sys.argv.(1) in
+  let required =
+    Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+  in
+  let j =
+    match Obs.Json.parse (read_file path) with
+    | exception Obs.Json.Parse_error msg -> fail "%s: %s" path msg
+    | j -> j
+  in
+  let events =
+    match Obs.Json.member "traceEvents" j with
+    | Some (Obs.Json.List l) -> l
+    | Some _ -> fail "%s: \"traceEvents\" is not an array" path
+    | None -> fail "%s: missing \"traceEvents\"" path
+  in
+  if events = [] then fail "%s: \"traceEvents\" is empty" path;
+  List.iteri
+    (fun i e ->
+      match e with
+      | Obs.Json.Obj _ -> (
+          match str_member "ph" e with
+          | Some _ -> ()
+          | None -> fail "%s: traceEvents[%d] lacks a \"ph\" phase" path i)
+      | _ -> fail "%s: traceEvents[%d] is not an object" path i)
+    events;
+  let complete_names =
+    List.filter_map
+      (fun e ->
+        match str_member "ph" e with
+        | Some "X" -> str_member "name" e
+        | _ -> None)
+      events
+  in
+  List.iter
+    (fun name ->
+      if not (List.mem name complete_names) then
+        fail "%s: no complete (\"ph\":\"X\") event named %S" path name)
+    required;
+  Printf.printf
+    "check_chrometrace: %s: %d event(s), %d complete, all %d required name(s) \
+     present\n"
+    path (List.length events)
+    (List.length complete_names)
+    (List.length required)

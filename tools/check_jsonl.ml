@@ -1,12 +1,15 @@
 (* Validate a JSON-Lines observability file: every non-empty line must
-   parse as a JSON object whose "type" is one of span | profile | metric
-   | baseline, and there must be at least one line.  Beyond well-
+   parse as a JSON object whose "type" is one of span | event | profile
+   | metric | baseline, and there must be at least one line.  Beyond well-
    formedness it checks the diffability contract the exporters promise:
 
    - span records carry a rebased "start_ns": within one experiment tag
      (bench files concatenate one batch per experiment) the first span
      starts at exactly 0 and starts never decrease (spans are logged in
      start order);
+   - event records carry a known level, a non-empty name, a
+     non-negative seq, an object "attrs", and a rebased non-negative
+     "ts_ns" that never decreases within one experiment tag;
    - profile records carry a non-empty "path", calls >= 1, and
      0 <= self_ms <= total_ms (+ epsilon for float noise);
    - baseline records (other than the "_meta" header) carry the
@@ -76,6 +79,31 @@ let check_span line_no j =
   | Some _ -> ()
   | None -> fail line_no "span: missing string \"name\""
 
+(* event-order state per experiment tag ("" when untagged) *)
+let last_event_ts : (string, int) Hashtbl.t = Hashtbl.create 4
+let known_levels = [ "debug"; "info"; "warn"; "error" ]
+
+let check_event line_no j =
+  let exp = Option.value ~default:"" (str_member "experiment" j) in
+  let ts = require_nonneg_int line_no "event" "ts_ns" j in
+  (match Hashtbl.find_opt last_event_ts exp with
+  | Some prev when ts < prev ->
+      fail line_no "event: ts_ns %d < previous %d (not in emit order)" ts prev
+  | _ -> ());
+  Hashtbl.replace last_event_ts exp ts;
+  ignore (require_nonneg_int line_no "event" "seq" j);
+  (match str_member "level" j with
+  | Some l when List.mem l known_levels -> ()
+  | Some l -> fail line_no "event: unknown level %S" l
+  | None -> fail line_no "event: missing string \"level\"");
+  (match str_member "name" j with
+  | Some "" | None -> fail line_no "event: missing or empty \"name\""
+  | Some _ -> ());
+  match Obs.Json.member "attrs" j with
+  | Some (Obs.Json.Obj _) -> ()
+  | Some _ -> fail line_no "event: \"attrs\" is not an object"
+  | None -> fail line_no "event: missing object \"attrs\""
+
 let check_profile line_no j =
   (match str_member "path" j with
   | Some "" | None -> fail line_no "profile: missing or empty \"path\""
@@ -126,6 +154,7 @@ let () =
          | Obs.Json.Obj _ as j -> (
              match Obs.Json.member "type" j with
              | Some (Obs.Json.String "span") -> check_span !n j
+             | Some (Obs.Json.String "event") -> check_event !n j
              | Some (Obs.Json.String "profile") -> check_profile !n j
              | Some (Obs.Json.String "metric") -> ()
              | Some (Obs.Json.String "baseline") -> check_baseline !n j

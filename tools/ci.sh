@@ -25,6 +25,9 @@ dune exec tools/fault_smoke.exe
 echo "== explain smoke (logical + physical trees on q1/q2)"
 sh tools/explain_smoke.sh
 
+echo "== diagnose smoke (flight recorder, chrome trace, anomaly detector)"
+sh tools/diagnose_smoke.sh
+
 echo "== bench baseline gate (work within ±5% of committed BENCH_silkroute.json)"
 dune exec bench/main.exe -- --check-baseline
 

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Diagnostics smoke: the three user-facing surfaces of the diagnostics
+# engine must actually fire.
+#
+#   1. A run that blows its work budget dumps the flight recorder
+#      (reason plan-timeout) to stderr before failing.
+#   2. --trace-chrome writes valid Chrome trace-event JSON with at
+#      least one complete event per pipeline stage.
+#   3. `diagnose --skew-stats` flags the deliberately mis-statted
+#      relation as a q-error misestimate finding.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== flight recorder dumps on plan timeout"
+err="$tmp/timeout.err"
+dune exec bin/silkroute_cli.exe -- run -q q1 --scale 0.05 --budget 50 \
+  --diagnose >/dev/null 2>"$err" || true
+for needle in "FLIGHT RECORDER" "plan-timeout" "planner.cache"; do
+  if ! grep -q "$needle" "$err"; then
+    echo "FAIL: timeout stderr lacks '$needle'" >&2
+    exit 1
+  fi
+done
+
+echo "== chrome trace is valid and covers the pipeline stages"
+trace="$tmp/trace.json"
+dune exec bin/silkroute_cli.exe -- run -q q1 --scale 0.05 \
+  --trace-chrome "$trace" >/dev/null 2>&1
+dune exec tools/check_chrometrace.exe -- "$trace" \
+  middleware.prepare middleware.plan middleware.execute execute.stream \
+  exec.query
+
+echo "== diagnose flags a mis-statted relation"
+report="$tmp/report.txt"
+dune exec bin/silkroute_cli.exe -- diagnose -q q1 --scale 0.05 \
+  --skew-stats Supplier=64 >"$report" 2>&1
+for needle in "PLAN DIAGNOSTICS" "MISESTIMATES" "q-error"; do
+  if ! grep -q "$needle" "$report"; then
+    echo "FAIL: diagnose report lacks '$needle'" >&2
+    exit 1
+  fi
+done
+# the skewed Supplier scan must surface as a finding with q-error 64
+if ! grep -E "scan .*64\.00" "$report" >/dev/null; then
+  echo "FAIL: diagnose report does not flag the skewed scan at q-error 64" >&2
+  exit 1
+fi
+# an unskewed catalog must not produce the same finding
+dune exec bin/silkroute_cli.exe -- diagnose -q q1 --scale 0.05 \
+  >"$report" 2>&1
+if grep -E "scan .*64\.00" "$report" >/dev/null; then
+  echo "FAIL: unskewed diagnose still reports the q-error 64 scan" >&2
+  exit 1
+fi
+
+echo "== diagnose smoke OK"
