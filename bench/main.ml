@@ -30,6 +30,7 @@ let experiments =
     ("pruning", Experiments.pruning);
     ("calibration", Experiments.calibration);
     ("resilience", Experiments.resilience);
+    ("scaling", Experiments.scaling);
     ("micro", Micro.run);
   ]
 

@@ -138,6 +138,16 @@ let retries_arg =
     & opt int R.Backend.default_retry.R.Backend.max_retries
     & info [ "retries" ] ~docv:"N" ~doc)
 
+let parallel_arg =
+  let doc =
+    "Fan the plan's sub-queries out over a pool of $(docv) OCaml domains \
+     (default 1 = sequential).  The merge-tagger tie-breaks by plan order, \
+     so the XML and all deterministic accounting are byte-identical at any \
+     domain count; on the resilient path fault draws are per-stream, so \
+     the resilience counters match too."
+  in
+  Arg.(value & opt int 1 & info [ "parallel" ] ~docv:"N" ~doc)
+
 let explain_flag_arg =
   let doc =
     "After executing, print each stream's SQL, logical algebra tree and \
@@ -297,14 +307,16 @@ let setup query view_file scale seed schema data =
   (db, S.Middleware.prepare_text db text)
 
 let run_cmd query view_file scale seed schema data strategy no_reduce pretty
-    stream budget resilient fault_rate fault_seed retries explain verbose trace
-    trace_json metrics profile trace_chrome diagnose skew =
+    stream budget resilient fault_rate fault_seed retries parallel explain
+    verbose trace trace_json metrics profile trace_chrome diagnose skew =
   setup_logs verbose;
   setup_obs ~trace_chrome ~diagnose ~trace ~trace_json ~metrics ~profile ();
   if (stream || resilient) && pretty then
     invalid_arg "--pretty requires the materialized path; drop --stream/--resilient";
   if fault_rate > 0.0 && not resilient then
     invalid_arg "--fault-rate requires --resilient";
+  if parallel < 1 then invalid_arg "--parallel must be >= 1";
+  let domains = parallel in
   let db, p = setup query view_file scale seed schema data in
   ignore db;
   apply_skew p skew;
@@ -320,7 +332,8 @@ let run_cmd query view_file scale seed schema data strategy no_reduce pretty
         ~budget p.S.Middleware.db
     in
     let r =
-      S.Middleware.execute_resilient ~reduce:(not no_reduce) ~backend p plan
+      S.Middleware.execute_resilient ~reduce:(not no_reduce) ~backend ~domains
+        p plan
     in
     let se = r.S.Middleware.r_streaming in
     if explain then prerr_endline (S.Middleware.explain_streaming p se);
@@ -343,7 +356,8 @@ let run_cmd query view_file scale seed schema data strategy no_reduce pretty
   end
   else if stream then begin
     let se =
-      S.Middleware.execute_streaming ~reduce:(not no_reduce) ~budget p plan
+      S.Middleware.execute_streaming ~reduce:(not no_reduce) ~budget ~domains p
+        plan
     in
     if explain then prerr_endline (S.Middleware.explain_streaming p se);
     S.Middleware.stream_to_channel p se stdout;
@@ -356,7 +370,9 @@ let run_cmd query view_file scale seed schema data strategy no_reduce pretty
     diagnose_report (S.Middleware.diagnose_samples_streaming p se)
   end
   else begin
-    let e = S.Middleware.execute ~reduce:(not no_reduce) ~budget p plan in
+    let e =
+      S.Middleware.execute ~reduce:(not no_reduce) ~budget ~domains p plan
+    in
     if explain then prerr_endline (S.Middleware.explain_execution p e);
     if pretty then
       print_string
@@ -415,7 +431,8 @@ let run_t =
     const run_cmd $ query_arg $ view_arg $ scale_arg $ seed_arg $ schema_arg
     $ data_arg $ strategy_arg $ no_reduce_arg $ pretty_arg $ stream_arg
     $ budget_arg $ resilient_arg $ fault_rate_arg $ fault_seed_arg
-    $ retries_arg $ explain_flag_arg $ verbose_arg $ trace_arg $ trace_json_arg
+    $ retries_arg $ parallel_arg $ explain_flag_arg $ verbose_arg $ trace_arg
+    $ trace_json_arg
     $ metrics_arg $ profile_arg $ trace_chrome_arg $ diagnose_arg
     $ skew_stats_arg)
 

@@ -5,13 +5,17 @@
    boolean test (plus the closure the [with_span] wrapper allocates).
    The flag gates spans and metrics together: the CLI's [--trace],
    [--trace-json] and [--metrics] all turn it on and then choose what to
-   render. *)
+   render.
 
-let enabled = ref false
-let set_enabled b = enabled := b
-let is_enabled () = !enabled
+   The flag is an [Atomic.t] so worker domains spawned mid-run read a
+   coherent value; flipping it while domains execute is not supported
+   (callers enable observability before submitting parallel work). *)
+
+let enabled = Atomic.make false
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
 
 let with_enabled b f =
-  let prev = !enabled in
-  enabled := b;
-  Fun.protect ~finally:(fun () -> enabled := prev) f
+  let prev = Atomic.get enabled in
+  Atomic.set enabled b;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled prev) f

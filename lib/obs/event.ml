@@ -12,7 +12,13 @@
    handed to the sink (stderr by default), newest context included,
    oldest long-forgotten noise evicted.  Everything is gated on the
    Control switch, so with observability off an emit site costs one
-   boolean test. *)
+   boolean test.
+
+   Domain safety: one mutex guards the ring (buffer, head, count, seq),
+   with the timestamp sampled inside the critical section so the ring —
+   and therefore [events ()] — stays in global emission order even when
+   worker domains race to emit.  The per-level metric bump happens
+   outside the ring lock (Metrics has its own). *)
 
 type level = Debug | Info | Warn | Error
 
@@ -42,30 +48,33 @@ type t = {
 (* --- ring buffer --------------------------------------------------------- *)
 
 let default_capacity = 256
+let ring_lock = Mutex.create ()
 let buf : t option array ref = ref (Array.make default_capacity None)
 let head = ref 0 (* next write slot *)
 let count = ref 0 (* live entries, <= capacity *)
 let seq = ref 0 (* total recorded (evicted included) *)
 let threshold = ref Debug
 
-let capacity () = Array.length !buf
+let capacity () = Mutex.protect ring_lock (fun () -> Array.length !buf)
 
 let set_capacity n =
   if n < 1 then invalid_arg "Event.set_capacity: capacity must be >= 1";
-  buf := Array.make n None;
-  head := 0;
-  count := 0
+  Mutex.protect ring_lock (fun () ->
+      buf := Array.make n None;
+      head := 0;
+      count := 0)
 
 let set_threshold l = threshold := l
 
 let emit ?(attrs = []) level name =
   if Control.is_enabled () && level_rank level >= level_rank !threshold then begin
-    let e = { seq = !seq; ts_ns = Clock.now_ns (); level; name; attrs } in
-    incr seq;
-    let b = !buf in
-    b.(!head) <- Some e;
-    head := (!head + 1) mod Array.length b;
-    if !count < Array.length b then incr count;
+    Mutex.protect ring_lock (fun () ->
+        let e = { seq = !seq; ts_ns = Clock.now_ns (); level; name; attrs } in
+        incr seq;
+        let b = !buf in
+        b.(!head) <- Some e;
+        head := (!head + 1) mod Array.length b;
+        if !count < Array.length b then incr count);
     Metrics.incr ("events." ^ level_name level)
   end
 
@@ -76,19 +85,20 @@ let error ?attrs name = emit ?attrs Error name
 
 (* Live ring contents, oldest first. *)
 let events () =
-  let b = !buf in
-  let cap = Array.length b in
-  let out = ref [] in
-  for i = 0 to !count - 1 do
-    (* newest is at head-1; walk backwards and cons *)
-    match b.((!head - 1 - i + (2 * cap)) mod cap) with
-    | Some e -> out := e :: !out
-    | None -> ()
-  done;
-  !out
+  Mutex.protect ring_lock (fun () ->
+      let b = !buf in
+      let cap = Array.length b in
+      let out = ref [] in
+      for i = 0 to !count - 1 do
+        (* newest is at head-1; walk backwards and cons *)
+        match b.((!head - 1 - i + (2 * cap)) mod cap) with
+        | Some e -> out := e :: !out
+        | None -> ()
+      done;
+      !out)
 
-let recorded () = !seq
-let dropped () = !seq - !count
+let recorded () = Mutex.protect ring_lock (fun () -> !seq)
+let dropped () = Mutex.protect ring_lock (fun () -> !seq - !count)
 
 (* --- flight-recorder dump ------------------------------------------------ *)
 
@@ -132,10 +142,11 @@ let dump ~reason =
 let dump_count () = !dumps
 
 let reset () =
-  buf := Array.make default_capacity None;
-  head := 0;
-  count := 0;
-  seq := 0;
+  Mutex.protect ring_lock (fun () ->
+      buf := Array.make default_capacity None;
+      head := 0;
+      count := 0;
+      seq := 0);
   threshold := Debug;
   sink := default_sink;
   dumps := 0;

@@ -5,7 +5,12 @@
    gated on Control, so with observability off a metric call is a single
    boolean test.  Histograms are fixed-bucket: [bounds] are inclusive
    upper edges and the last bucket is the overflow bucket, so
-   [counts] has [Array.length bounds + 1] cells. *)
+   [counts] has [Array.length bounds + 1] cells.
+
+   Domain safety: one mutex guards the registry and every metric cell.
+   A finer scheme (lock-free counters, per-domain shards) is not worth
+   it here — with observability off there is no lock at all, and with it
+   on the workloads are dominated by executor work, not metric traffic. *)
 
 type histogram = {
   bounds : float array; (* strictly increasing inclusive upper edges *)
@@ -17,7 +22,8 @@ type histogram = {
 type metric = Counter of int ref | Gauge of float ref | Histogram of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
-let reset () = Hashtbl.reset registry
+let lock = Mutex.create ()
+let reset () = Mutex.protect lock (fun () -> Hashtbl.reset registry)
 
 let exponential ~start ~factor ~count =
   Array.init count (fun i -> start *. (factor ** float_of_int i))
@@ -59,34 +65,37 @@ let kind_error name want =
 
 let incr ?(by = 1) name =
   if Control.is_enabled () then
-    match find_or_add name (fun () -> Counter (ref 0)) with
-    | Counter r -> r := !r + by
-    | _ -> kind_error name "counter"
+    Mutex.protect lock (fun () ->
+        match find_or_add name (fun () -> Counter (ref 0)) with
+        | Counter r -> r := !r + by
+        | _ -> kind_error name "counter")
 
 let set_gauge name v =
   if Control.is_enabled () then
-    match find_or_add name (fun () -> Gauge (ref 0.0)) with
-    | Gauge r -> r := v
-    | _ -> kind_error name "gauge"
+    Mutex.protect lock (fun () ->
+        match find_or_add name (fun () -> Gauge (ref 0.0)) with
+        | Gauge r -> r := v
+        | _ -> kind_error name "gauge")
 
 let observe ?(bounds = default_bounds) name x =
   if Control.is_enabled () then
-    match
-      find_or_add name (fun () ->
-          Histogram
-            {
-              bounds;
-              counts = Array.make (Array.length bounds + 1) 0;
-              sum = 0.0;
-              n = 0;
-            })
-    with
-    | Histogram h ->
-        let i = bucket_index h.bounds x in
-        h.counts.(i) <- h.counts.(i) + 1;
-        h.sum <- h.sum +. x;
-        h.n <- h.n + 1
-    | _ -> kind_error name "histogram"
+    Mutex.protect lock (fun () ->
+        match
+          find_or_add name (fun () ->
+              Histogram
+                {
+                  bounds;
+                  counts = Array.make (Array.length bounds + 1) 0;
+                  sum = 0.0;
+                  n = 0;
+                })
+        with
+        | Histogram h ->
+            let i = bucket_index h.bounds x in
+            h.counts.(i) <- h.counts.(i) + 1;
+            h.sum <- h.sum +. x;
+            h.n <- h.n + 1
+        | _ -> kind_error name "histogram")
 
 (* --- read side -------------------------------------------------------- *)
 
@@ -102,7 +111,8 @@ let snap = function
       SHistogram { h with counts = Array.copy h.counts }
 
 let snapshot () =
-  Hashtbl.fold (fun name m acc -> (name, snap m) :: acc) registry []
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, snap m) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (* Percentile estimation from bucket counts.  The true values are gone;
@@ -144,11 +154,13 @@ let p50_90_99 h =
   | _ -> None
 
 let counter_value name =
-  match Hashtbl.find_opt registry name with
-  | Some (Counter r) -> Some !r
-  | _ -> None
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter r) -> Some !r
+      | _ -> None)
 
 let histogram_snapshot name =
-  match Hashtbl.find_opt registry name with
-  | Some (Histogram h) -> Some { h with counts = Array.copy h.counts }
-  | _ -> None
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Histogram h) -> Some { h with counts = Array.copy h.counts }
+      | _ -> None)

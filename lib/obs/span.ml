@@ -2,10 +2,20 @@
 
    A span covers one pipeline stage or operator; spans nest by dynamic
    extent ([with_span] inside [with_span]), forming a tree recorded in
-   start (pre-) order.  The collector is a pair of globals — the stack
-   of open spans and the log of all spans — which is all a
-   single-threaded pipeline needs.  When the Control switch is off,
-   [with_span] runs the thunk directly.
+   start (pre-) order.  When the Control switch is off, [with_span] runs
+   the thunk directly.
+
+   Domain safety: the stack of open spans is per-domain (DLS), so worker
+   domains nest independently, while span ids and the log of all spans
+   are shared and guarded by one mutex.  The clock is sampled inside the
+   same critical section that appends to the log, so the log stays in
+   global start order even when domains race to open spans — the
+   parent-before-child and rebased-monotonic invariants the JSONL
+   exporter promises survive multi-domain aggregation.  A worker domain
+   has an empty stack of its own; [with_context] plants the submitting
+   domain's innermost span as the parenting base, so a task's spans
+   land under the span that spawned it (Domain_pool does this on every
+   submitted task).
 
    Closing a span feeds its duration into the ["span.ms.<name>"]
    histogram, so every traced run gets per-stage duration distributions
@@ -23,7 +33,9 @@ type t = {
   (* GC telemetry: the open snapshot lives in these fields until
      [finish] replaces it with the delta over the span, so an extra
      snapshot record per span is never allocated.  Meaningful only once
-     [finished]. *)
+     [finished].  [Gc.quick_stat] counters are domain-local in OCaml 5,
+     and a span is opened and closed on one domain, so the delta is the
+     allocation of that domain's extent — exactly what we want. *)
   mutable gc_minor_words : float;
   mutable gc_major_words : float;
   mutable gc_compactions : int;
@@ -40,36 +52,63 @@ let gc_source = ref default_gc_source
 let set_gc_source f = gc_source := f
 let use_default_gc_source () = gc_source := default_gc_source
 
+(* Shared collector state: id counter and log, one mutex. *)
+let log_mutex = Mutex.create ()
 let next_id = ref 0
-let stack : t list ref = ref [] (* open spans, innermost first *)
 let log : t list ref = ref [] (* every span, reverse start order *)
+
+(* Per-domain state: the stack of open spans, and the parenting base a
+   pool installs around a task ([with_context]). *)
+let stack_key : t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let base_key : (int * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let stack () = Domain.DLS.get stack_key
+let base () = Domain.DLS.get base_key
+
+type context = (int * int) option (* (id, depth) of the adopting span *)
+
+let context () =
+  match !(stack ()) with
+  | s :: _ -> Some (s.id, s.depth)
+  | [] -> !(base ())
+
+let with_context ctx f =
+  let b = base () in
+  let saved = !b in
+  b := ctx;
+  Fun.protect ~finally:(fun () -> b := saved) f
 
 let tracing = Control.is_enabled
 
 let reset () =
-  next_id := 0;
-  stack := [];
-  log := []
+  Mutex.protect log_mutex (fun () ->
+      next_id := 0;
+      log := []);
+  stack () := [];
+  base () := None
 
-let spans () = List.rev !log
+let spans () = List.rev (Mutex.protect log_mutex (fun () -> !log))
 let attrs s = List.rev s.attr_rev
 let duration_ms s = Clock.ns_to_ms (Int64.sub s.end_ns s.start_ns)
 
 let add key v =
   if Control.is_enabled () then
-    match !stack with
+    match !(stack ()) with
     | s :: _ -> s.attr_rev <- (key, v) :: s.attr_rev
     | [] -> ()
 
 let add_list kvs =
   if Control.is_enabled () then
-    match !stack with
+    match !(stack ()) with
     | s :: _ -> List.iter (fun kv -> s.attr_rev <- kv :: s.attr_rev) kvs
     | [] -> ()
 
 let set_name name =
   if Control.is_enabled () then
-    match !stack with s :: _ -> s.name <- name | [] -> ()
+    match !(stack ()) with s :: _ -> s.name <- name | [] -> ()
 
 let finish s =
   s.end_ns <- Clock.now_ns ();
@@ -78,39 +117,50 @@ let finish s =
    s.gc_major_words <- major -. s.gc_major_words;
    s.gc_compactions <- compactions - s.gc_compactions);
   s.finished <- true;
-  (match !stack with
-  | top :: rest when top == s -> stack := rest
-  | _ ->
-      (* unbalanced finish (an exception unwound through nested spans
-         whose [finally] already ran): drop anything above [s] too *)
-      stack := List.filter (fun o -> not (o == s)) !stack);
+  (let st = stack () in
+   match !st with
+   | top :: rest when top == s -> st := rest
+   | _ ->
+       (* unbalanced finish (an exception unwound through nested spans
+          whose [finally] already ran): drop anything above [s] too *)
+       st := List.filter (fun o -> not (o == s)) !st);
   Metrics.observe ~bounds:Metrics.duration_bounds ("span.ms." ^ s.name)
     (duration_ms s)
 
 let with_span ?(attrs = []) name f =
   if not (Control.is_enabled ()) then f ()
   else begin
+    let st = stack () in
     let parent, depth =
-      match !stack with [] -> (None, 0) | p :: _ -> (Some p.id, p.depth + 1)
+      match !st with
+      | p :: _ -> (Some p.id, p.depth + 1)
+      | [] -> (
+          match !(base ()) with
+          | Some (id, d) -> (Some id, d + 1)
+          | None -> (None, 0))
     in
-    incr next_id;
     let minor0, major0, compactions0 = !gc_source () in
     let s =
-      {
-        id = !next_id;
-        parent;
-        depth;
-        name;
-        start_ns = Clock.now_ns ();
-        end_ns = 0L;
-        attr_rev = List.rev attrs;
-        finished = false;
-        gc_minor_words = minor0;
-        gc_major_words = major0;
-        gc_compactions = compactions0;
-      }
+      Mutex.protect log_mutex (fun () ->
+          incr next_id;
+          let s =
+            {
+              id = !next_id;
+              parent;
+              depth;
+              name;
+              start_ns = Clock.now_ns ();
+              end_ns = 0L;
+              attr_rev = List.rev attrs;
+              finished = false;
+              gc_minor_words = minor0;
+              gc_major_words = major0;
+              gc_compactions = compactions0;
+            }
+          in
+          log := s :: !log;
+          s)
     in
-    stack := s :: !stack;
-    log := s :: !log;
+    st := s :: !st;
     Fun.protect ~finally:(fun () -> finish s) f
   end

@@ -1,7 +1,14 @@
 (** Span-based tracing: hierarchical, monotonic-clock timed, with
     key/value attributes.  Spans nest by dynamic extent and are recorded
     in start (pre-) order; closing a span feeds its duration into the
-    ["span.ms.<name>"] histogram. *)
+    ["span.ms.<name>"] histogram.
+
+    Domain safety: the stack of open spans is per-domain (DLS); span ids
+    and the log are shared under a mutex, with the clock sampled inside
+    the append critical section so the log stays in global start order
+    across domains.  {!context}/{!with_context} carry the parenting span
+    across a domain boundary (Domain_pool wraps every submitted task
+    with them). *)
 
 type t = {
   id : int;
@@ -22,6 +29,20 @@ type t = {
 val with_span : ?attrs:Attr.t -> string -> (unit -> 'a) -> 'a
 (** Runs [f] inside a span named [name].  When observability is off this
     is just [f ()]. *)
+
+type context
+(** The parenting position at some point in some domain's dynamic
+    extent: spans opened under {!with_context} become children of the
+    span that was innermost when {!context} was called. *)
+
+val context : unit -> context
+(** The current parenting position — the innermost open span of the
+    calling domain, or its installed base when its stack is empty. *)
+
+val with_context : context -> (unit -> 'a) -> 'a
+(** Runs [f] with [ctx] installed as the calling domain's parenting
+    base, restoring the previous base afterwards.  Used by worker
+    domains so a task's spans land under the span that submitted it. *)
 
 val tracing : unit -> bool
 (** Alias for {!Control.is_enabled}: guard attribute computation at the

@@ -264,7 +264,15 @@ and lower_from db (from : Sql.table_ref list) (where : Expr.t option) : t =
               with
               | n :: ns, others -> (n, ns @ others)
               | [], r :: rs -> (r, rs)
-              | [], [] -> assert false
+              | [], [] ->
+                  (* partitioning the non-empty [remaining] cannot yield
+                     two empty halves; reachable only via a broken
+                     List.partition *)
+                  invalid_arg
+                    (Printf.sprintf
+                       "Algebra.lower_from: FROM-list join ordering lost its \
+                        %d remaining relation(s)"
+                       (List.length remaining))
             in
             let right = lower_table_ref db next in
             let h = Array.append (header current) (header right) in

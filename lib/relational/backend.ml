@@ -182,6 +182,48 @@ let db t = t.database
 let clock t = t.clk
 let stats t = { t.st with submits = t.st.submits }
 
+(* An independent connection derived from [t] for one parallel stream:
+   same database and configs, fresh stats, a closed breaker, a fresh
+   virtual clock, and a PRNG seeded by mixing the parent's fault seed
+   with [salt].  Forked backends make fault draws a function of
+   (seed, salt, submission sequence within the stream) — independent of
+   how streams interleave across domains — which is what makes parallel
+   resilient execution deterministic. *)
+let fork t ~salt =
+  {
+    t with
+    clk = virtual_clock ();
+    prng =
+      {
+        state =
+          mix64
+            (Int64.add
+               (Int64.of_int t.fault_cfg.fault_seed)
+               (Int64.mul 0x9e3779b97f4a7c15L (Int64.of_int (salt + 1))));
+      };
+    st = new_stats ();
+    breaker_state = Closed 0;
+  }
+
+let merge_stats sts =
+  let m = new_stats () in
+  List.iter
+    (fun s ->
+      m.submits <- m.submits + s.submits;
+      m.attempts <- m.attempts + s.attempts;
+      m.retries <- m.retries + s.retries;
+      m.faults_transient <- m.faults_transient + s.faults_transient;
+      m.faults_midstream <- m.faults_midstream + s.faults_midstream;
+      m.faults_fatal <- m.faults_fatal + s.faults_fatal;
+      m.timeouts <- m.timeouts + s.timeouts;
+      m.backoff_ms <- m.backoff_ms +. s.backoff_ms;
+      m.injected_latency_ms <- m.injected_latency_ms +. s.injected_latency_ms;
+      m.wasted_work <- m.wasted_work + s.wasted_work;
+      m.breaker_opens <- m.breaker_opens + s.breaker_opens;
+      m.breaker_rejections <- m.breaker_rejections + s.breaker_rejections)
+    sts;
+  m
+
 let note_failure t =
   let failures =
     match t.breaker_state with

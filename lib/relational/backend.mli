@@ -137,6 +137,20 @@ val clock : t -> clock
 val stats : t -> stats
 (** A snapshot copy (callers may diff two snapshots). *)
 
+val fork : t -> salt:int -> t
+(** An independent connection derived from [t] for one stream of a
+    fanned-out plan: same database and fault/retry/breaker configs and
+    budget/profile, but fresh stats, a closed breaker, a fresh virtual
+    clock, and a PRNG seeded by mixing the parent's fault seed with
+    [salt].  Fault draws on a fork depend only on (seed, salt, the
+    fork's own submission sequence) — not on how streams interleave
+    across domains — so a parallel resilient run is as deterministic as
+    a sequential one.  Forks never share mutable state with the parent
+    or each other; merge their {!stats} with {!merge_stats}. *)
+
+val merge_stats : stats list -> stats
+(** Field-wise sum — aggregate per-fork counters into one report. *)
+
 val submit : t -> Sql.query -> Cursor.t
 (** One physical attempt, no retry: submits [q] to the engine and
     returns a cursor over its sorted output.  Raises {!Backend_error}

@@ -82,29 +82,61 @@ let parse_rows text = List.map (List.map fst) (parse_rows_tagged text)
 
 (* --- typed loading ------------------------------------------------------- *)
 
+(* Strict decimal integer: optional sign then decimal digits only.
+   [int_of_string] alone would also accept OCaml literal extensions —
+   hex/octal/binary prefixes ([0x1F]) and underscore separators
+   ([1_000]) — which are not CSV data anyone intends. *)
+let strict_int text =
+  let n = String.length text in
+  let digits_from i =
+    i < n
+    &&
+    let ok = ref true in
+    for j = i to n - 1 do
+      match text.[j] with '0' .. '9' -> () | _ -> ok := false
+    done;
+    !ok
+  in
+  let well_formed =
+    match (if n > 0 then text.[0] else ' ') with
+    | '+' | '-' -> digits_from 1
+    | '0' .. '9' -> digits_from 0
+    | _ -> false
+  in
+  if well_formed then int_of_string_opt text else None
+
 let value_of_field ?source row (col : Schema.column) (text, quoted) : Value.t =
+  let bad () =
+    fail ?source row "row %d, column %s: bad %s value %S" row
+      col.Schema.col_name
+      (Value.ty_name col.Schema.col_ty)
+      text
+  in
   if text = "" && not quoted then
     if col.Schema.nullable then Value.Null
     else
       fail ?source row "row %d: empty value in NOT NULL column %s" row
         col.Schema.col_name
   else
-    try
-      match col.Schema.col_ty with
-      | Value.TInt -> Value.Int (int_of_string (String.trim text))
-      | Value.TFloat -> Value.Float (float_of_string (String.trim text))
-      | Value.TBool -> (
-          match String.lowercase_ascii (String.trim text) with
-          | "true" | "t" | "1" -> Value.Bool true
-          | "false" | "f" | "0" -> Value.Bool false
-          | _ -> failwith "bool")
-      | Value.TDate -> Value.Date (int_of_string (String.trim text))
-      | Value.TString -> Value.String text
-    with Failure _ ->
-      fail ?source row "row %d, column %s: bad %s value %S" row
-        col.Schema.col_name
-        (Value.ty_name col.Schema.col_ty)
-        text
+    match col.Schema.col_ty with
+    | Value.TInt -> (
+        match strict_int (String.trim text) with
+        | Some n -> Value.Int n
+        | None -> bad ())
+    | Value.TFloat -> (
+        match float_of_string_opt (String.trim text) with
+        | Some x -> Value.Float x
+        | None -> bad ())
+    | Value.TBool -> (
+        match String.lowercase_ascii (String.trim text) with
+        | "true" | "t" | "1" -> Value.Bool true
+        | "false" | "f" | "0" -> Value.Bool false
+        | _ -> bad ())
+    | Value.TDate -> (
+        match strict_int (String.trim text) with
+        | Some n -> Value.Date n
+        | None -> bad ())
+    | Value.TString -> Value.String text
 
 (* Load CSV [text] into [table].  With [header] (default), the first row
    names the columns and may reorder or omit nullable ones. *)

@@ -12,28 +12,38 @@
 type t = {
   cols : string array;
   mutable pull : unit -> Tuple.t option;
+  mutable cleanup : unit -> unit;
+      (* releases off-heap resources (spool file, open channel); must be
+         idempotent-safe to drop because [close] runs it at most once *)
 }
 
-let create cols pull = { cols; pull }
+let no_cleanup () = ()
+let create cols pull = { cols; pull; cleanup = no_cleanup }
 let cols c = c.cols
 let arity c = Array.length c.cols
 let next c = c.pull ()
 
-let empty cols =
-  { cols; pull = (fun () -> None) }
+(* Releasing an abandoned cursor: stop producing tuples and free any
+   backing resource now instead of at process exit.  Exhausting a cursor
+   normally releases resources too; [close] is for the error paths —
+   timeouts and plan degradation abandon cursors mid-stream, and before
+   this hook existed each abandoned spool cursor leaked its temp file. *)
+let close c =
+  let f = c.cleanup in
+  c.cleanup <- no_cleanup;
+  c.pull <- (fun () -> None);
+  f ()
+
+let empty cols = create cols (fun () -> None)
 
 let of_list cols rows =
   let rest = ref rows in
-  {
-    cols;
-    pull =
-      (fun () ->
-        match !rest with
-        | [] -> None
-        | t :: tl ->
-            rest := tl;
-            Some t);
-  }
+  create cols (fun () ->
+      match !rest with
+      | [] -> None
+      | t :: tl ->
+          rest := tl;
+          Some t)
 
 let of_relation r = of_list (Relation.cols r) (Relation.rows r)
 
@@ -58,10 +68,18 @@ let to_relation c = Relation.create c.cols (to_list c)
 (* Spooling: drain [c] into a temporary file now (invoking [on_row] per
    tuple, in order — the hook for incremental stats/transfer accounting)
    and return a cursor that deserializes the rows back on demand.  The
-   file is removed once the last row has been read; an abandoned cursor
-   leaks its spool file until process exit. *)
+   file is removed once the last row has been read, or by [close] on an
+   abandoned cursor (timeout/degradation paths). *)
+
+(* [Filename.temp_file] mutates global naming state; worker domains
+   spool concurrently, so serialize name generation. *)
+let temp_lock = Mutex.create ()
+
 let spool ?(on_row = fun (_ : Tuple.t) -> ()) (c : t) : t =
-  let path = Filename.temp_file "silkroute" ".spool" in
+  let path =
+    Mutex.protect temp_lock (fun () ->
+        Filename.temp_file "silkroute" ".spool")
+  in
   let oc = open_out_bin path in
   let count = ref 0 in
   (try
@@ -78,10 +96,17 @@ let spool ?(on_row = fun (_ : Tuple.t) -> ()) (c : t) : t =
   close_out oc;
   let remaining = ref !count in
   let ic = ref None in
-  let finish chan =
-    close_in_noerr chan;
-    ic := None;
-    try Sys.remove path with Sys_error _ -> ()
+  let removed = ref false in
+  let release () =
+    (match !ic with
+    | Some chan ->
+        close_in_noerr chan;
+        ic := None
+    | None -> ());
+    if not !removed then begin
+      removed := true;
+      try Sys.remove path with Sys_error _ -> ()
+    end
   in
   let pull () =
     if !remaining <= 0 then None
@@ -96,8 +121,10 @@ let spool ?(on_row = fun (_ : Tuple.t) -> ()) (c : t) : t =
       in
       let (t : Tuple.t) = Marshal.from_channel chan in
       decr remaining;
-      if !remaining = 0 then finish chan;
+      if !remaining = 0 then release ();
       Some t
     end
   in
-  { cols = c.cols; pull }
+  let spooled = create c.cols pull in
+  spooled.cleanup <- release;
+  spooled

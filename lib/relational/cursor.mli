@@ -19,6 +19,13 @@ val arity : t -> int
 val next : t -> Tuple.t option
 (** Pull the next tuple, or [None] at end of stream. *)
 
+val close : t -> unit
+(** Releases the cursor's backing resources (spool file, open channel)
+    without draining it; subsequent {!next} calls return [None].  Safe
+    to call on any cursor, exhausted or not, any number of times.
+    Exhausting a cursor releases its resources too — [close] is for
+    cursors abandoned mid-stream (plan timeout, degradation). *)
+
 val empty : string array -> t
 val of_list : string array -> Tuple.t list -> t
 
@@ -37,6 +44,5 @@ val spool : ?on_row:(Tuple.t -> unit) -> t -> t
     tuples back on demand.  This bounds live heap memory during
     consumption to one tuple per open cursor, independent of the result
     cardinality, modeling a server-side result set streamed over the
-    wire.  The spool file is deleted when the last tuple is read; a
-    cursor abandoned before exhaustion leaks its file until process
-    exit. *)
+    wire.  The spool file is deleted when the last tuple is read, or by
+    {!close} on a cursor abandoned before exhaustion. *)

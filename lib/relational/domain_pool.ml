@@ -1,0 +1,131 @@
+(* A bounded pool of worker domains with task submit/await.
+
+   The pool exists for one job: running the independent SQL fragments of
+   a partitioned plan concurrently (the EXCHANGE shape — per-stream
+   parallelism below a deterministic merge).  Tasks go into a FIFO queue
+   guarded by a mutex/condition pair; each worker domain loops dequeuing
+   and running tasks until the pool is shut down AND the queue is dry,
+   so no submitted task is ever dropped.  A task's result — normal or
+   exceptional — is stored in its handle; [await] blocks on the handle's
+   own condition variable and re-raises task exceptions with their
+   original backtrace.  Worker domains never die to a task exception.
+
+   [create ~domains] with [domains <= 1] builds an inline pool: [submit]
+   runs the task immediately on the calling domain.  That makes the
+   sequential case *exactly* the old code path — same execution order,
+   same allocation pattern, no domain spawn — so callers thread
+   [~domains] through unconditionally.
+
+   Observability: [submit] captures the caller's span context and the
+   worker re-installs it around the task, so spans opened inside a task
+   parent under the span that submitted it, not under a detached root. *)
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a handle = {
+  hm : Mutex.t;
+  hcv : Condition.t;
+  mutable st : 'a state;
+}
+
+type t = {
+  qm : Mutex.t;
+  qcv : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list; (* [] for an inline pool *)
+  size : int;
+}
+
+let size p = p.size
+
+let fill h result =
+  Mutex.protect h.hm (fun () -> h.st <- result);
+  Condition.broadcast h.hcv
+
+let run_task h ctx task =
+  match Obs.Span.with_context ctx task with
+  | v -> fill h (Done v)
+  | exception e -> fill h (Failed (e, Printexc.get_raw_backtrace ()))
+
+let worker_loop p () =
+  let rec loop () =
+    let job =
+      Mutex.protect p.qm (fun () ->
+          while Queue.is_empty p.jobs && not p.closed do
+            Condition.wait p.qcv p.qm
+          done;
+          (* drain remaining jobs even after close *)
+          if Queue.is_empty p.jobs then None else Some (Queue.pop p.jobs))
+    in
+    match job with
+    | Some job ->
+        job ();
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then
+    invalid_arg
+      (Printf.sprintf "Domain_pool.create: domains must be >= 1, got %d"
+         domains);
+  let p =
+    {
+      qm = Mutex.create ();
+      qcv = Condition.create ();
+      jobs = Queue.create ();
+      closed = false;
+      workers = [];
+      size = domains;
+    }
+  in
+  (* Mutate [workers] rather than copying the record: a [{p with ...}]
+     copy would leave the spawned workers watching the *old* record's
+     [closed] field, so [shutdown] on the copy would never wake them. *)
+  if domains > 1 then
+    p.workers <- List.init domains (fun _ -> Domain.spawn (worker_loop p));
+  p
+
+let submit p task =
+  let h = { hm = Mutex.create (); hcv = Condition.create (); st = Pending } in
+  let ctx = Obs.Span.context () in
+  (match p.workers with
+  | [] ->
+      (* inline pool: the sequential path, unchanged *)
+      run_task h ctx task
+  | _ :: _ ->
+      Mutex.protect p.qm (fun () ->
+          if p.closed then
+            invalid_arg "Domain_pool.submit: pool is shut down";
+          Queue.push (fun () -> run_task h ctx task) p.jobs);
+      Condition.signal p.qcv);
+  h
+
+let await h =
+  let st =
+    Mutex.protect h.hm (fun () ->
+        (* match, not (=): polymorphic compare would inspect the task's
+           result value, which may contain closures *)
+        while match h.st with Pending -> true | _ -> false do
+          Condition.wait h.hcv h.hm
+        done;
+        h.st)
+  in
+  match st with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let shutdown p =
+  Mutex.protect p.qm (fun () -> p.closed <- true);
+  Condition.broadcast p.qcv;
+  List.iter Domain.join p.workers
+
+let with_pool ~domains f =
+  let p = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)

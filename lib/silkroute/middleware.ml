@@ -121,6 +121,55 @@ exception Plan_timeout of timeout_info
 
 let now_ms () = Unix.gettimeofday () *. 1000.0
 
+(* --- parallel fan-out --------------------------------------------------- *)
+
+(* Run [f i x] over the indexed [xs] — sequentially when [domains <= 1]
+   (byte-for-byte the old single-domain path), or fanned out over a
+   domain pool.  Results come back in list (plan) order either way; the
+   merge-tagger tie-breaks by plan order, so execution order cannot
+   affect the XML.
+
+   Failure contract: in both modes every already-completed result is
+   passed to [on_partial] (the hook where the streaming paths close
+   spooled cursors, fixing the abandoned-spool leak) before the
+   exception re-raises.  In parallel mode all submitted tasks are
+   awaited first — a worker cannot still be running a task whose
+   resources nobody owns — and when several fail, the earliest in plan
+   order wins, matching what sequential execution would have raised. *)
+let map_streams ~domains ~on_partial f xs =
+  if domains <= 1 then begin
+    let acc = ref [] in
+    (try List.iteri (fun i x -> acc := f i x :: !acc) xs
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       on_partial (List.rev !acc);
+       Printexc.raise_with_backtrace e bt);
+    List.rev !acc
+  end
+  else
+    R.Domain_pool.with_pool ~domains (fun pool ->
+        let handles =
+          List.mapi (fun i x -> R.Domain_pool.submit pool (fun () -> f i x)) xs
+        in
+        let results =
+          List.map
+            (fun h ->
+              match R.Domain_pool.await h with
+              | v -> Ok v
+              | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+            handles
+        in
+        let completed =
+          List.filter_map (function Ok v -> Some v | Error _ -> None) results
+        in
+        match
+          List.find_map (function Error e -> Some e | Ok _ -> None) results
+        with
+        | None -> completed
+        | Some (e, bt) ->
+            on_partial completed;
+            Printexc.raise_with_backtrace e bt)
+
 (* Shared by the materialized and streaming paths: run one sub-query
    through the SQL text round-trip, mapping an engine [Timeout] to
    [Plan_timeout] with the stream's position and fragment root, and
@@ -180,10 +229,15 @@ let run_stream_query ~runner ~print_sql ~budget ~profile (p : prepared) i
 
 let execute ?(style = Sql_gen.Outer_join) ?(reduce = false) ?(budget = 0)
     ?(profile = R.Executor.default_profile) ?(transfer = R.Transfer.default)
-    ?(sql_syntax = `Derived) (p : prepared) (plan : Partition.t) : execution =
+    ?(sql_syntax = `Derived) ?(domains = 1) (p : prepared) (plan : Partition.t)
+    : execution =
  Obs.Span.with_span "middleware.execute" (fun () ->
+  if Obs.Span.tracing () then Obs.Span.add "domains" (Obs.Attr.Int domains);
   let opts = options_of p ~style ~reduce in
   let streams = Sql_gen.streams p.db p.tree plan opts in
+  (* force the stats lazy before fanning out: concurrent Lazy.force is
+     a race (RacyLazy) in OCaml 5 *)
+  if domains > 1 && Obs.Span.tracing () then ignore (Lazy.force p.stats);
   let print_sql =
     match sql_syntax with
     | `Derived -> R.Sql_print.to_string
@@ -228,7 +282,10 @@ let execute ?(style = Sql_gen.Outer_join) ?(reduce = false) ?(budget = 0)
           se_wall_ms = wall_ms;
         })
   in
-  let per_stream = List.mapi run streams in
+  let per_stream =
+    map_streams ~domains ~on_partial:(fun (_ : stream_exec list) -> ()) run
+      streams
+  in
   let streams_rels =
     List.map (fun se -> (se.se_stream, se.se_relation)) per_stream
   in
@@ -264,6 +321,15 @@ let execute ?(style = Sql_gen.Outer_join) ?(reduce = false) ?(budget = 0)
     tuples;
     bytes;
   })
+
+(* Parallel sub-query fan-out: [execute] with a required domain count.
+   Each plan fragment's sub-query runs on its own pool domain; the
+   k-way merge-tagger tie-breaks by plan order, so the XML and all
+   deterministic accounting are byte-identical to [execute] at any
+   domain count. *)
+let execute_parallel ?style ?reduce ?budget ?profile ?transfer ?sql_syntax
+    ~domains p plan =
+  execute ?style ?reduce ?budget ?profile ?transfer ?sql_syntax ~domains p plan
 
 let document_of p (e : execution) : Xmlkit.Xml.t =
   Tagger.to_document p.tree e.streams
@@ -345,14 +411,24 @@ type streaming = {
   s_bytes : int;
 }
 
+(* Releasing spooled cursors of streams that completed before a later
+   stream failed: without this, a Plan_timeout mid-plan left every
+   earlier stream's spool file on disk until process exit. *)
+let close_stream_cursors (scs : stream_cursor list) =
+  List.iter (fun sc -> R.Cursor.close sc.sc_cursor) scs
+
 let execute_streaming ?(style = Sql_gen.Outer_join) ?(reduce = false)
     ?(budget = 0) ?(profile = R.Executor.default_profile)
-    ?(transfer = R.Transfer.default) ?(sql_syntax = `Derived) (p : prepared)
-    (plan : Partition.t) : streaming =
+    ?(transfer = R.Transfer.default) ?(sql_syntax = `Derived) ?(domains = 1)
+    (p : prepared) (plan : Partition.t) : streaming =
  Obs.Span.with_span "middleware.execute" (fun () ->
-  if Obs.Span.tracing () then Obs.Span.add "mode" (Obs.Attr.String "streaming");
+  if Obs.Span.tracing () then begin
+    Obs.Span.add "mode" (Obs.Attr.String "streaming");
+    Obs.Span.add "domains" (Obs.Attr.Int domains)
+  end;
   let opts = options_of p ~style ~reduce in
   let streams = Sql_gen.streams p.db p.tree plan opts in
+  if domains > 1 && Obs.Span.tracing () then ignore (Lazy.force p.stats);
   let print_sql =
     match sql_syntax with
     | `Derived -> R.Sql_print.to_string
@@ -412,7 +488,9 @@ let execute_streaming ?(style = Sql_gen.Outer_join) ?(reduce = false)
           sc_transfer_ms = !transfer_ms;
         })
   in
-  let per_stream = List.mapi run streams in
+  let per_stream =
+    map_streams ~domains ~on_partial:close_stream_cursors run streams
+  in
   let work =
     List.fold_left
       (fun acc sc -> acc + sc.sc_stats.R.Executor.work)
@@ -492,24 +570,37 @@ type resilient = { r_streaming : streaming; r_resilience : resilience }
 
 let execute_resilient ?(style = Sql_gen.Outer_join) ?(reduce = false)
     ?budget ?profile ?(transfer = R.Transfer.default) ?(sql_syntax = `Derived)
-    ?backend ?(max_splits = 8) (p : prepared) (plan : Partition.t) : resilient =
+    ?backend ?(max_splits = 8) ?(domains = 1) (p : prepared)
+    (plan : Partition.t) : resilient =
  Obs.Span.with_span "middleware.execute" (fun () ->
-  if Obs.Span.tracing () then Obs.Span.add "mode" (Obs.Attr.String "resilient");
+  if Obs.Span.tracing () then begin
+    Obs.Span.add "mode" (Obs.Attr.String "resilient");
+    Obs.Span.add "domains" (Obs.Attr.Int domains)
+  end;
   let backend =
     match backend with
     | Some b -> b
     | None -> R.Backend.create ?budget ?profile p.db
   in
-  let stats0 = R.Backend.stats backend in
   let opts = options_of p ~style ~reduce in
   let streams = Sql_gen.streams p.db p.tree plan opts in
+  (* One forked connection per top-level stream, in every mode: fault
+     draws depend only on (seed, stream index, the stream's own
+     submission sequence), never on how streams interleave across
+     domains, so the resilience counters are identical at any domain
+     count and across repeated runs.  [backend] itself is only the
+     config/seed template; its own counters never move here. *)
+  let backends =
+    List.mapi (fun i (_ : Sql_gen.stream) -> R.Backend.fork backend ~salt:i)
+      streams
+  in
   let print_sql =
     match sql_syntax with
     | `Derived -> R.Sql_print.to_string
     | `With -> R.Sql_print.to_with_string
   in
-  let degraded = ref 0 in
-  (* Run one stream through the backend's retry loop.  If its failure is
+  let degraded = Atomic.make 0 in
+  (* Run one stream through its backend's retry loop.  If its failure is
      persistent — retries exhausted, a fatal fault, or a work-budget
      timeout — split the offending fragment along its view-tree edges
      (one step down the 2^|E| plan lattice, the paper's own fallback
@@ -517,7 +608,8 @@ let execute_resilient ?(style = Sql_gen.Outer_join) ?(reduce = false)
      fragment cannot degrade further: a timeout escapes as
      [Plan_timeout] with the payload naming the fragment root, anything
      else re-raises the backend error. *)
-  let rec run_stream ~depth i (s : Sql_gen.stream) : stream_cursor list =
+  let rec run_stream ~depth backend i (s : Sql_gen.stream) :
+      stream_cursor list =
     Obs.Span.with_span "execute.stream" (fun () ->
         let text = print_sql s.Sql_gen.query in
         let root_name =
@@ -599,7 +691,7 @@ let execute_resilient ?(style = Sql_gen.Outer_join) ?(reduce = false)
             in
             match finer with
             | Some frags ->
-                incr degraded;
+                Atomic.incr degraded;
                 Obs.Metrics.incr "middleware.degraded_streams";
                 if Obs.Span.tracing () then begin
                   Obs.Span.add_list
@@ -623,11 +715,22 @@ let execute_resilient ?(style = Sql_gen.Outer_join) ?(reduce = false)
                       i info.timeout_root
                       (R.Backend.kind_name kind)
                       (List.length frags));
-                List.concat_map
-                  (fun frag ->
-                    run_stream ~depth:(depth + 1) i
-                      (Sql_gen.stream_of_fragment p.db p.tree opts frag))
-                  frags
+                (* a later fragment failing must not strand the spooled
+                   cursors of the fragments already run *)
+                let sub = ref [] in
+                (try
+                   List.iter
+                     (fun frag ->
+                       sub :=
+                         run_stream ~depth:(depth + 1) backend i
+                           (Sql_gen.stream_of_fragment p.db p.tree opts frag)
+                         :: !sub)
+                     frags
+                 with e ->
+                   let bt = Printexc.get_raw_backtrace () in
+                   List.iter close_stream_cursors !sub;
+                   Printexc.raise_with_backtrace e bt);
+                List.concat (List.rev !sub)
             | None -> (
                 match kind with
                 | R.Backend.Timeout ->
@@ -645,7 +748,12 @@ let execute_resilient ?(style = Sql_gen.Outer_join) ?(reduce = false)
                 | _ -> raise exn)))
   in
   let per_stream =
-    List.concat (List.mapi (fun i s -> run_stream ~depth:0 i s) streams)
+    let tasks = List.combine backends streams in
+    List.concat
+      (map_streams ~domains
+         ~on_partial:(fun done_lists -> List.iter close_stream_cursors done_lists)
+         (fun i (b, s) -> run_stream ~depth:0 b i s)
+         tasks)
   in
   (* Degradation replaces one stream by finer streams covering the same
      nodes: the effective plan is still a point in the 2^|E| lattice, so
@@ -665,18 +773,17 @@ let execute_resilient ?(style = Sql_gen.Outer_join) ?(reduce = false)
   in
   let tuples = List.fold_left (fun acc sc -> acc + sc.sc_rows) 0 per_stream in
   let bytes = List.fold_left (fun acc sc -> acc + sc.sc_bytes) 0 per_stream in
-  let stats1 = R.Backend.stats backend in
+  let merged = R.Backend.merge_stats (List.map R.Backend.stats backends) in
   let resilience =
     {
-      r_submits = stats1.R.Backend.submits - stats0.R.Backend.submits;
-      r_attempts = stats1.R.Backend.attempts - stats0.R.Backend.attempts;
-      r_retries = stats1.R.Backend.retries - stats0.R.Backend.retries;
-      r_faults =
-        R.Backend.total_faults stats1 - R.Backend.total_faults stats0;
-      r_timeouts = stats1.R.Backend.timeouts - stats0.R.Backend.timeouts;
-      r_degraded = !degraded;
-      r_backoff_ms = stats1.R.Backend.backoff_ms -. stats0.R.Backend.backoff_ms;
-      r_wasted_work = stats1.R.Backend.wasted_work - stats0.R.Backend.wasted_work;
+      r_submits = merged.R.Backend.submits;
+      r_attempts = merged.R.Backend.attempts;
+      r_retries = merged.R.Backend.retries;
+      r_faults = R.Backend.total_faults merged;
+      r_timeouts = merged.R.Backend.timeouts;
+      r_degraded = Atomic.get degraded;
+      r_backoff_ms = merged.R.Backend.backoff_ms;
+      r_wasted_work = merged.R.Backend.wasted_work;
     }
   in
   if Obs.Span.tracing () then
@@ -718,11 +825,14 @@ let stream_to_channel p (se : streaming) oc : unit =
 
 (* One-call convenience: materialize the XML view of [db] under
    [strategy]. *)
-let materialize ?style ?reduce ?budget ?profile ?transfer ?sql_syntax db view
-    strategy : Xmlkit.Xml.t * execution =
+let materialize ?style ?reduce ?budget ?profile ?transfer ?sql_syntax ?domains
+    db view strategy : Xmlkit.Xml.t * execution =
   let p = prepare db view in
   let plan = partition_of p strategy in
-  let e = execute ?style ?reduce ?budget ?profile ?transfer ?sql_syntax p plan in
+  let e =
+    execute ?style ?reduce ?budget ?profile ?transfer ?sql_syntax ?domains p
+      plan
+  in
   (document_of p e, e)
 
 (* Ground truth: materialize via naive datalog evaluation of every node

@@ -79,12 +79,33 @@ val execute :
   ?profile:Relational.Executor.profile ->
   ?transfer:Relational.Transfer.config ->
   ?sql_syntax:[ `Derived | `With ] ->
+  ?domains:int ->
   prepared ->
   Partition.t ->
   execution
 (** [sql_syntax] selects how derived tables are shipped to the engine:
     inline subqueries (default) or a WITH clause (the paper's footnote 1
-    alternative); both parse back to the same plan. *)
+    alternative); both parse back to the same plan.  [domains] (default
+    1) fans the plan's sub-queries out over a pool of that many OCaml 5
+    domains; 1 is exactly the sequential path.  Output and all
+    deterministic accounting (work, tuples, bytes, modeled transfer)
+    are identical at every domain count — the merge-tagger tie-breaks
+    by plan order. *)
+
+val execute_parallel :
+  ?style:Sql_gen.style ->
+  ?reduce:bool ->
+  ?budget:int ->
+  ?profile:Relational.Executor.profile ->
+  ?transfer:Relational.Transfer.config ->
+  ?sql_syntax:[ `Derived | `With ] ->
+  domains:int ->
+  prepared ->
+  Partition.t ->
+  execution
+(** {!execute} with a required [domains]: each plan fragment's backend
+    submit + executor run happens on its own pool domain, results merge
+    in plan order. *)
 
 val document_of : prepared -> execution -> Xmlkit.Xml.t
 val xml_string_of : prepared -> execution -> string
@@ -141,6 +162,7 @@ val execute_streaming :
   ?profile:Relational.Executor.profile ->
   ?transfer:Relational.Transfer.config ->
   ?sql_syntax:[ `Derived | `With ] ->
+  ?domains:int ->
   prepared ->
   Partition.t ->
   streaming
@@ -148,7 +170,9 @@ val execute_streaming :
     temporary file (modeling a server-side result set) instead of being
     retained as a relation: live heap memory from here through tagging
     is bounded by the view-tree depth plus one tuple per stream,
-    independent of the database size. *)
+    independent of the database size.  If a later stream fails
+    (e.g. {!Plan_timeout}), the spooled cursors of already-completed
+    streams are closed — their spool files do not outlive the call. *)
 
 val explain_streaming : prepared -> streaming -> string
 (** {!explain_execution} for the streaming path (plans come from
@@ -166,9 +190,10 @@ val diagnose_samples_streaming : prepared -> streaming -> Obs.Diagnose.sample li
     from [sc_plan]); does not touch the cursors. *)
 
 (** What resilience cost during one {!execute_resilient} run: counters
-    diffed over the backend's {!Relational.Backend.stats}, plus the
-    number of streams that had to be degraded to finer fragments.  All
-    deterministic for a fixed fault seed. *)
+    summed over the per-stream forked backends
+    ({!Relational.Backend.fork}), plus the number of streams that had
+    to be degraded to finer fragments.  All deterministic for a fixed
+    fault seed, and identical at every domain count. *)
 type resilience = {
   r_submits : int;  (** logical sub-query submissions, incl. degraded re-runs *)
   r_attempts : int;  (** physical attempts, including retries *)
@@ -191,13 +216,18 @@ val execute_resilient :
   ?sql_syntax:[ `Derived | `With ] ->
   ?backend:Relational.Backend.t ->
   ?max_splits:int ->
+  ?domains:int ->
   prepared ->
   Partition.t ->
   resilient
-(** Like {!execute_streaming}, but every sub-query goes through
-    [backend] (default: a fault-free backend over [p.db] with the given
-    [budget]/[profile]; both are ignored when [backend] is supplied):
-    transient failures are retried with backoff, and a persistent
+(** Like {!execute_streaming}, but every sub-query goes through a
+    per-stream {!Relational.Backend.fork} of [backend] (default: a
+    fault-free backend over [p.db] with the given [budget]/[profile];
+    both are ignored when [backend] is supplied).  [backend] serves as
+    the config/seed template — its own counters never move; per-stream
+    forking makes fault draws independent of cross-stream interleaving,
+    so the resilience counters are identical at every [domains] count.
+    Transient failures are retried with backoff, and a persistent
     failure — retries exhausted, a fatal fault, or a work-budget timeout
     — degrades only the offending stream by splitting its fragment
     along view-tree edges (at most [max_splits] nested splits per
@@ -225,6 +255,7 @@ val materialize :
   ?profile:Relational.Executor.profile ->
   ?transfer:Relational.Transfer.config ->
   ?sql_syntax:[ `Derived | `With ] ->
+  ?domains:int ->
   Relational.Database.t ->
   Rxl.view ->
   strategy ->

@@ -41,6 +41,7 @@ let () =
       ("middleware", Test_middleware.suite);
       ("streaming", Test_streaming.suite);
       ("resilience", Test_resilience.suite);
+      ("parallel", Test_parallel.suite);
       ("differential", Test_differential.suite);
       ("obs", Test_obs.suite);
       ("profile", Test_profile.suite);

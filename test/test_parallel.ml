@@ -1,0 +1,298 @@
+(* The domain fan-out: Domain_pool unit tests, then differential tests
+   holding [execute_parallel] / [~domains] to the sequential paths —
+   byte-identical XML and exact work/tuples/bytes/transfer parity for
+   every plan in the 2^|E| lattice at domains ∈ {1, 2, 4}, resilience
+   counters deterministic under faults at every domain count, and span
+   coherence (parent-before-child, start order) when several domains
+   trace at once. *)
+
+open Silkroute
+module R = Relational
+
+(* --- Domain_pool -------------------------------------------------------- *)
+
+let test_pool_results_in_order () =
+  List.iter
+    (fun domains ->
+      R.Domain_pool.with_pool ~domains (fun pool ->
+          let hs =
+            List.init 20 (fun i -> R.Domain_pool.submit pool (fun () -> i * i))
+          in
+          let got = List.map R.Domain_pool.await hs in
+          Alcotest.(check (list int))
+            (Printf.sprintf "squares @%d domains" domains)
+            (List.init 20 (fun i -> i * i))
+            got))
+    [ 1; 2; 4 ]
+
+exception Boom of int
+
+let test_pool_propagates_exceptions () =
+  List.iter
+    (fun domains ->
+      R.Domain_pool.with_pool ~domains (fun pool ->
+          let ok = R.Domain_pool.submit pool (fun () -> 41) in
+          let bad = R.Domain_pool.submit pool (fun () -> raise (Boom 7)) in
+          let ok2 = R.Domain_pool.submit pool (fun () -> 43) in
+          Alcotest.(check int) "task before" 41 (R.Domain_pool.await ok);
+          (match R.Domain_pool.await bad with
+          | _ -> Alcotest.fail "await of a failed task must raise"
+          | exception Boom 7 -> ()
+          | exception e ->
+              Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+          (* a task exception must not kill the worker *)
+          Alcotest.(check int) "task after" 43 (R.Domain_pool.await ok2)))
+    [ 1; 2 ]
+
+let test_pool_more_tasks_than_workers () =
+  R.Domain_pool.with_pool ~domains:2 (fun pool ->
+      let hs = List.init 100 (fun i -> R.Domain_pool.submit pool (fun () -> i)) in
+      Alcotest.(check int) "sum" 4950
+        (List.fold_left (fun acc h -> acc + R.Domain_pool.await h) 0 hs))
+
+let test_pool_submit_after_shutdown () =
+  let pool = R.Domain_pool.create ~domains:2 in
+  let h = R.Domain_pool.submit pool (fun () -> 1) in
+  Alcotest.(check int) "pre-shutdown task" 1 (R.Domain_pool.await h);
+  R.Domain_pool.shutdown pool;
+  match R.Domain_pool.submit pool (fun () -> 2) with
+  | _ -> Alcotest.fail "submit after shutdown must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_pool_rejects_zero_domains () =
+  match R.Domain_pool.create ~domains:0 with
+  | _ -> Alcotest.fail "domains:0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* --- cursor close -------------------------------------------------------- *)
+
+let cols = [| "a" |]
+let rows = List.init 5 (fun i -> [| R.Value.Int i |])
+
+let test_cursor_close_semantics () =
+  (* close mid-read: no more rows, idempotent *)
+  let c = R.Cursor.spool (R.Cursor.of_list cols rows) in
+  Alcotest.(check bool) "first row" true (R.Cursor.next c <> None);
+  R.Cursor.close c;
+  Alcotest.(check bool) "closed: no rows" true (R.Cursor.next c = None);
+  R.Cursor.close c;
+  Alcotest.(check bool) "double close harmless" true (R.Cursor.next c = None);
+  (* close after full drain is also fine *)
+  let c2 = R.Cursor.spool (R.Cursor.of_list cols rows) in
+  Alcotest.(check int) "all rows" 5 (List.length (R.Cursor.to_list c2));
+  R.Cursor.close c2
+
+(* --- differential: parallel vs sequential -------------------------------- *)
+
+(* One plan point: the fanned-out paths must match the sequential ones
+   byte-for-byte on XML and exactly on deterministic accounting. *)
+let check_point p mask domains =
+  let plan = Partition.of_mask p.Middleware.tree mask in
+  let label = Printf.sprintf "mask %d @%d domains" mask domains in
+  let e = Middleware.execute p plan in
+  let ep = Middleware.execute_parallel ~domains p plan in
+  Alcotest.(check string)
+    (label ^ ": byte-identical XML")
+    (Middleware.xml_string_of p e)
+    (Middleware.xml_string_of p ep);
+  Alcotest.(check int) (label ^ ": work") e.Middleware.work ep.Middleware.work;
+  Alcotest.(check int) (label ^ ": tuples") e.Middleware.tuples
+    ep.Middleware.tuples;
+  Alcotest.(check int) (label ^ ": bytes") e.Middleware.bytes
+    ep.Middleware.bytes;
+  Alcotest.(check (float 0.0))
+    (label ^ ": transfer model")
+    e.Middleware.transfer_ms ep.Middleware.transfer_ms;
+  (* streaming fan-out against sequential streaming *)
+  let se = Middleware.execute_streaming p plan in
+  let sp = Middleware.execute_streaming ~domains p plan in
+  Alcotest.(check string)
+    (label ^ ": streaming byte-identical XML")
+    (Middleware.xml_string_of_streaming p se)
+    (Middleware.xml_string_of_streaming p sp);
+  Alcotest.(check int)
+    (label ^ ": streaming work")
+    se.Middleware.s_work sp.Middleware.s_work;
+  Alcotest.(check int)
+    (label ^ ": streaming bytes")
+    se.Middleware.s_bytes sp.Middleware.s_bytes
+
+let domain_counts = [ 1; 2; 4 ]
+
+(* Small view: every mask of the lattice at every domain count. *)
+let test_fragment_all_masks_all_domains () =
+  let db = Tpch.Gen.figure8_database () in
+  let p = Middleware.prepare_text db Queries.fragment_text in
+  List.iter
+    (fun mask -> List.iter (fun d -> check_point p mask d) domain_counts)
+    (Partition.all_masks p.Middleware.tree)
+
+(* Q1/Q2: every one of the 2^|E| plans at 4 domains; 1 and 2 domains on
+   a stride-4 subsample. *)
+let exhaustive_sweep text =
+  let db = Tpch.Gen.generate (Tpch.Gen.config 0.08) in
+  let p = Middleware.prepare_text db text in
+  List.iter
+    (fun mask ->
+      if mask mod 4 = 0 then
+        List.iter (fun d -> check_point p mask d) domain_counts
+      else check_point p mask 4)
+    (Partition.all_masks p.Middleware.tree)
+
+let test_exhaustive_q1 () = exhaustive_sweep Queries.query1_text
+let test_exhaustive_q2 () = exhaustive_sweep Queries.query2_text
+
+(* --- resilience under fan-out -------------------------------------------- *)
+
+(* For each fault rate, the resilient path must produce byte-identical
+   XML *and* bit-identical resilience counters at every domain count:
+   per-stream backend forks make the fault draws independent of how
+   streams interleave across domains. *)
+let test_resilient_counters_deterministic () =
+  let db = Tpch.Gen.figure8_database () in
+  let p = Middleware.prepare_text db Queries.fragment_text in
+  let truth =
+    let e = Middleware.execute p (Partition.unified p.Middleware.tree) in
+    Middleware.xml_string_of p e
+  in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun mask ->
+          let plan = Partition.of_mask p.Middleware.tree mask in
+          let run domains =
+            let backend =
+              R.Backend.create
+                ~faults:(R.Backend.faults ~seed:11 rate)
+                ~retry:
+                  { R.Backend.default_retry with R.Backend.max_retries = 8 }
+                db
+            in
+            let r = Middleware.execute_resilient ~backend ~domains p plan in
+            let xml =
+              Middleware.xml_string_of_streaming p r.Middleware.r_streaming
+            in
+            (xml, r.Middleware.r_resilience)
+          in
+          let xml1, res1 = run 1 in
+          Alcotest.(check string)
+            (Printf.sprintf "rate %.1f mask %d: XML = fault-free truth" rate
+               mask)
+            truth xml1;
+          List.iter
+            (fun domains ->
+              let xml, res = run domains in
+              let label =
+                Printf.sprintf "rate %.1f mask %d @%d domains" rate mask
+                  domains
+              in
+              Alcotest.(check string) (label ^ ": XML") xml1 xml;
+              Alcotest.(check bool)
+                (label ^ ": identical resilience counters")
+                true (res = res1))
+            [ 2; 4 ])
+        (Partition.all_masks p.Middleware.tree))
+    [ 0.0; 0.3 ]
+
+(* A work budget that the unified plan cannot meet forces degradation
+   into finer fragments; fanned out, the degraded runs must still merge
+   to the exact fault-free document and count the same degradations. *)
+let test_degradation_under_fanout () =
+  let db = Tpch.Gen.generate (Tpch.Gen.config 0.1) in
+  let p = Middleware.prepare_text db Queries.query1_text in
+  let tree = p.Middleware.tree in
+  let unified = Partition.unified tree in
+  let baseline = Middleware.execute p unified in
+  let truth = Middleware.xml_string_of p baseline in
+  let fully = Middleware.execute p (Partition.fully_partitioned tree) in
+  let budget =
+    2
+    * List.fold_left
+        (fun acc se -> max acc se.Middleware.se_stats.R.Executor.work)
+        0 fully.Middleware.per_stream
+  in
+  Alcotest.(check bool) "unified plan must exceed the budget" true
+    (baseline.Middleware.work > budget);
+  let run domains =
+    let r = Middleware.execute_resilient ~budget ~domains p unified in
+    ( Middleware.xml_string_of_streaming p r.Middleware.r_streaming,
+      r.Middleware.r_resilience )
+  in
+  let xml1, res1 = run 1 in
+  Alcotest.(check string) "degraded run matches fault-free truth" truth xml1;
+  Alcotest.(check bool) "at least one stream degraded" true
+    (res1.Middleware.r_degraded >= 1);
+  List.iter
+    (fun domains ->
+      let xml, res = run domains in
+      let label = Printf.sprintf "@%d domains" domains in
+      Alcotest.(check string) (label ^ ": XML") xml1 xml;
+      Alcotest.(check bool) (label ^ ": counters") true (res = res1))
+    [ 2; 4 ]
+
+(* --- observability coherence --------------------------------------------- *)
+
+(* With tracing on and the plan fanned out over 4 domains, the span log
+   must still be globally start-ordered with every parent logged before
+   its children, and the multiset of span names must match a sequential
+   traced run (same spans, merely interleaved). *)
+let span_names () =
+  List.sort compare (List.map (fun s -> s.Obs.Span.name) (Obs.Span.spans ()))
+
+let test_spans_coherent_across_domains () =
+  let db = Tpch.Gen.figure8_database () in
+  let p = Middleware.prepare_text db Queries.fragment_text in
+  let plan = Partition.fully_partitioned p.Middleware.tree in
+  Obs.Control.with_enabled true (fun () ->
+      Obs.Span.reset ();
+      ignore (Middleware.execute p plan);
+      let seq_names = span_names () in
+      Obs.Span.reset ();
+      ignore (Middleware.execute_parallel ~domains:4 p plan);
+      let spans = Obs.Span.spans () in
+      Alcotest.(check (list string))
+        "same span multiset as sequential" seq_names (span_names ());
+      let seen = Hashtbl.create 64 in
+      List.fold_left
+        (fun prev s ->
+          Alcotest.(check bool) "log in start order" true
+            (Int64.compare prev s.Obs.Span.start_ns <= 0);
+          (match s.Obs.Span.parent with
+          | None -> ()
+          | Some parent ->
+              Alcotest.(check bool)
+                (Printf.sprintf "span %d: parent %d logged first"
+                   s.Obs.Span.id parent)
+                true (Hashtbl.mem seen parent));
+          Hashtbl.replace seen s.Obs.Span.id ();
+          s.Obs.Span.start_ns)
+        Int64.min_int spans
+      |> ignore;
+      Obs.Span.reset ())
+
+let suite =
+  [
+    Alcotest.test_case "pool: results in order" `Quick test_pool_results_in_order;
+    Alcotest.test_case "pool: exception propagation" `Quick
+      test_pool_propagates_exceptions;
+    Alcotest.test_case "pool: 100 tasks on 2 workers" `Quick
+      test_pool_more_tasks_than_workers;
+    Alcotest.test_case "pool: submit after shutdown" `Quick
+      test_pool_submit_after_shutdown;
+    Alcotest.test_case "pool: rejects 0 domains" `Quick
+      test_pool_rejects_zero_domains;
+    Alcotest.test_case "cursor close semantics" `Quick
+      test_cursor_close_semantics;
+    Alcotest.test_case "fragment: all masks x domains {1,2,4}" `Quick
+      test_fragment_all_masks_all_domains;
+    Alcotest.test_case "exhaustive plans parallel = sequential (Q1)" `Slow
+      test_exhaustive_q1;
+    Alcotest.test_case "exhaustive plans parallel = sequential (Q2)" `Slow
+      test_exhaustive_q2;
+    Alcotest.test_case "resilient counters deterministic across domains"
+      `Quick test_resilient_counters_deterministic;
+    Alcotest.test_case "degradation under fan-out" `Quick
+      test_degradation_under_fanout;
+    Alcotest.test_case "spans coherent across domains" `Quick
+      test_spans_coherent_across_domains;
+  ]

@@ -169,6 +169,40 @@ let test_csv_error_diagnostics () =
            in
            go 0)))
 
+let test_csv_strict_numeric () =
+  (* int_of_string's literal extensions are not CSV data: hex/octal/
+     binary prefixes and underscore separators must be rejected for
+     TInt and TDate alike *)
+  let db () =
+    Source_desc.load_database
+      {|table U {
+          id int key
+          d  date
+        }|}
+  in
+  let rejects what text =
+    Alcotest.(check bool) what true
+      (try
+         ignore (Csv.load (db ()) "U" text);
+         false
+       with Csv.Csv_error _ -> true)
+  in
+  rejects "hex int" "id,d\n0x1F,1\n";
+  rejects "underscore int" "id,d\n1_000,1\n";
+  rejects "octal int" "id,d\n0o17,1\n";
+  rejects "binary int" "id,d\n0b101,1\n";
+  rejects "hex date" "id,d\n1,0x1F\n";
+  rejects "underscore date" "id,d\n1,1_000\n";
+  rejects "bare sign" "id,d\n+,1\n";
+  rejects "trailing junk" "id,d\n12a,1\n";
+  (* plain decimals, signed included, still load *)
+  let db = db () in
+  Alcotest.(check int) "decimal forms load" 2
+    (Csv.load db "U" "id,d\n-12,1\n+13,2\n");
+  let rows = Database.raw_data db "U" in
+  Alcotest.(check bool) "negative value" true
+    (Value.equal rows.(0).(0) (Value.Int (-12)))
+
 let test_csv_export_round_trip () =
   let db = csv_db () in
   ignore
@@ -206,6 +240,8 @@ let suite =
     Alcotest.test_case "csv: error reporting" `Quick test_csv_errors;
     Alcotest.test_case "csv: error diagnostics name file/row/column" `Quick
       test_csv_error_diagnostics;
+    Alcotest.test_case "csv: strict decimal ints and dates" `Quick
+      test_csv_strict_numeric;
     Alcotest.test_case "csv: export round trip" `Quick test_csv_export_round_trip;
     Alcotest.test_case "csv: TPC-H round trip" `Quick test_csv_tpch_round_trip;
   ]

@@ -57,6 +57,12 @@ let require_nonneg_int line_no what key j =
 (* start-order state per experiment tag ("" when untagged) *)
 let last_start : (string, int) Hashtbl.t = Hashtbl.create 4
 
+(* span ids already seen, per experiment tag.  Because spans are logged
+   in global start order (one append lock, clock sampled inside it —
+   true even when a run fans sub-queries out over several domains), a
+   span's parent must appear strictly before it in the file. *)
+let seen_ids : (string, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 4
+
 let check_span line_no j =
   let exp = Option.value ~default:"" (str_member "experiment" j) in
   let start = require_int line_no "span" "start_ns" j in
@@ -72,6 +78,28 @@ let check_span line_no j =
         fail line_no "span: start_ns %d < previous %d (not in start order)"
           start prev);
   Hashtbl.replace last_start exp start;
+  let ids =
+    match Hashtbl.find_opt seen_ids exp with
+    | Some ids -> ids
+    | None ->
+        let ids = Hashtbl.create 64 in
+        Hashtbl.replace seen_ids exp ids;
+        ids
+  in
+  let id = require_nonneg_int line_no "span" "id" j in
+  if Hashtbl.mem ids id then
+    fail line_no "span: duplicate id %d in experiment %S" id exp;
+  (match Obs.Json.member "parent" j with
+  | Some Obs.Json.Null -> ()
+  | Some (Obs.Json.Int p) ->
+      if not (Hashtbl.mem ids p) then
+        fail line_no
+          "span: id %d names parent %d not seen earlier in experiment %S \
+           (parents must be logged before their children)"
+          id p exp
+  | Some _ -> fail line_no "span: \"parent\" is neither null nor an int"
+  | None -> fail line_no "span: missing \"parent\"");
+  Hashtbl.replace ids id ();
   (match num_member "dur_ms" j with
   | Some _ -> ()
   | None -> fail line_no "span: missing number \"dur_ms\"");

@@ -16,8 +16,13 @@ dune build @all
 echo "== dune runtest"
 dune runtest
 
-echo "== memory smoke (streaming path stays bounded)"
+echo "== memory smoke (streaming path stays bounded, no spool-file leaks)"
 dune exec tools/mem_smoke.exe
+
+echo "== parallel smoke (--parallel 4 byte-identical, counters deterministic)"
+dune build bin/silkroute_cli.exe tools/check_jsonl.exe
+sh tools/parallel_smoke.sh _build/default/bin/silkroute_cli.exe \
+    _build/default/tools/check_jsonl.exe
 
 echo "== fault smoke (byte-identical output under injected faults)"
 dune exec tools/fault_smoke.exe
@@ -30,6 +35,18 @@ sh tools/diagnose_smoke.sh
 
 echo "== bench baseline gate (work within ±5% of committed BENCH_silkroute.json)"
 dune exec bench/main.exe -- --check-baseline
+
+echo "== scaling experiment (fan-out parity + modeled speedup curve)"
+scaling_out=$(dune exec bench/main.exe -- --experiment scaling)
+echo "$scaling_out"
+if echo "$scaling_out" | grep -q 'NO!'; then
+  echo "scaling: parity violation (see NO! rows above)"
+  exit 1
+fi
+if ! echo "$scaling_out" | grep -q ' yes$'; then
+  echo "scaling: no parity rows found"
+  exit 1
+fi
 
 echo "== baseline smoke (perturbed baseline must fail the gate)"
 sh tools/baseline_smoke.sh

@@ -67,6 +67,66 @@ let materialized_highwater scale =
   in
   (hw, opens, e.S.Middleware.tuples)
 
+(* --- spool-file hygiene ------------------------------------------------ *)
+
+(* Streaming/resilient runs spool every sub-query result to a
+   silkroute*.spool temp file.  The files must never outlive the call:
+   on success each is deleted when its last tuple is read; on failure
+   (a later stream hits the plan timeout) the completed streams'
+   cursors are closed, which deletes their files eagerly. *)
+let spool_files () =
+  let dir = Filename.get_temp_dir_name () in
+  Array.to_list (Sys.readdir dir)
+  |> List.filter (fun f ->
+         String.length f >= 9
+         && String.sub f 0 9 = "silkroute"
+         && Filename.check_suffix f ".spool")
+  |> List.sort compare
+
+let check_no_spool_leak () =
+  let fail fmt =
+    Printf.ksprintf (fun s -> prerr_endline ("mem-smoke FAIL: " ^ s); exit 1) fmt
+  in
+  let before = spool_files () in
+  let p, plan = prepare 0.1 in
+  (* happy path: stream, then drain every cursor to the end *)
+  let se = S.Middleware.execute_streaming p plan in
+  ignore (S.Middleware.xml_string_of_streaming p se);
+  (* timeout path, streaming: the heaviest stream blows the per-query
+     budget mid-plan; the completed streams' spools must be closed.
+     Budget = half the heaviest stream's work, so lighter streams
+     complete and the heavy one times out. *)
+  let fully = S.Partition.fully_partitioned p.S.Middleware.tree in
+  let probe = S.Middleware.execute p fully in
+  let budget =
+    List.fold_left
+      (fun acc se -> max acc se.S.Middleware.se_stats.R.Executor.work)
+      0 probe.S.Middleware.per_stream
+    / 2
+  in
+  let timeouts = ref 0 in
+  (try ignore (S.Middleware.execute_streaming ~budget p fully)
+   with S.Middleware.Plan_timeout _ -> incr timeouts);
+  (* timeout path, resilient (sequential and fanned out): single-node
+     fragments cannot degrade further, so the budget hit surfaces as
+     Plan_timeout after several streams already spooled *)
+  List.iter
+    (fun domains ->
+      try ignore (S.Middleware.execute_resilient ~budget ~domains p fully)
+      with S.Middleware.Plan_timeout _ -> incr timeouts)
+    [ 1; 4 ];
+  if !timeouts <> 3 then
+    fail "spool-leak check not meaningful: %d/3 runs hit the plan timeout"
+      !timeouts;
+  let after = spool_files () in
+  if before <> after then
+    fail "leftover spool files after timeout runs: [%s] (before: [%s])"
+      (String.concat "; " after)
+      (String.concat "; " before);
+  Printf.printf
+    "mem-smoke OK: no silkroute*.spool files left behind (%d timeout runs)\n"
+    !timeouts
+
 let () =
   let small_scale = 0.1 and large_scale = 0.4 in
   let s_small, _, t_small = streaming_highwater small_scale in
@@ -92,4 +152,5 @@ let () =
   if not (s_large < s_small + (s_small / 2) + 65_536) then
     fail "streaming high-water grew with database size: %d @%.1f vs %d @%.1f"
       s_large large_scale s_small small_scale;
-  print_endline "mem-smoke OK: streaming live memory independent of row count"
+  print_endline "mem-smoke OK: streaming live memory independent of row count";
+  check_no_spool_leak ()
