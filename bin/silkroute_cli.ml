@@ -276,10 +276,8 @@ let parse_strategy s =
       S.Middleware.Edges (int_of_string (String.sub s 6 (String.length s - 6)))
   | s -> invalid_arg ("unknown strategy: " ^ s)
 
-let setup query view_file scale seed schema data =
-  let text = load_view query view_file in
-  let db =
-    match schema with
+let setup_db scale seed schema data =
+  match schema with
     | None ->
         if data <> None then
           invalid_arg "--data requires --schema";
@@ -303,7 +301,10 @@ let setup query view_file scale seed schema data =
                 Printf.eprintf "[warning: %d integrity violations, e.g. %s]\n"
                   (List.length violations) (List.hd violations));
         db
-  in
+
+let setup query view_file scale seed schema data =
+  let text = load_view query view_file in
+  let db = setup_db scale seed schema data in
   (db, S.Middleware.prepare_text db text)
 
 let run_cmd query view_file scale seed schema data strategy no_reduce pretty
@@ -426,6 +427,179 @@ let diagnose_cmd query view_file scale seed schema data strategy no_reduce
   let e = S.Middleware.execute ~reduce:(not no_reduce) ~budget p plan in
   print_string (Obs.Diagnose.report (S.Middleware.diagnose_samples p e))
 
+(* --- query server ------------------------------------------------------- *)
+
+let socket_arg required_for =
+  let doc =
+    Printf.sprintf "Unix-domain socket path %s." required_for
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let statement_cache_arg =
+  let doc = "Statement-cache capacity in entries (0 disables the tier)." in
+  Arg.(
+    value
+    & opt int Server.Service.default_config.Server.Service.statement_capacity
+    & info [ "statement-cache" ] ~docv:"N" ~doc)
+
+let plan_cache_arg =
+  let doc = "Plan-cache capacity in entries (0 disables the tier)." in
+  Arg.(
+    value
+    & opt int Server.Service.default_config.Server.Service.plan_capacity
+    & info [ "plan-cache" ] ~docv:"N" ~doc)
+
+let result_cache_arg =
+  let doc = "Result-cache capacity in bytes of XML (0 disables the tier)." in
+  Arg.(
+    value
+    & opt int Server.Service.default_config.Server.Service.result_capacity
+    & info [ "result-cache" ] ~docv:"BYTES" ~doc)
+
+let admission_budget_arg =
+  let doc =
+    "Admission budget: maximum estimated work units in flight (0 = \
+     unlimited).  Queries whose estimate alone exceeds it are rejected; \
+     ones that do not fit right now wait in a bounded queue."
+  in
+  Arg.(value & opt int 0 & info [ "admission-budget" ] ~docv:"N" ~doc)
+
+let max_queue_arg =
+  let doc = "Waiting admissions beyond which queries are rejected." in
+  Arg.(
+    value
+    & opt int Server.Service.default_config.Server.Service.max_queue
+    & info [ "max-queue" ] ~docv:"N" ~doc)
+
+let server_config domains statement_cache plan_cache result_cache
+    admission_budget max_queue =
+  {
+    Server.Service.domains;
+    statement_capacity = statement_cache;
+    plan_capacity = plan_cache;
+    result_capacity = result_cache;
+    admission_budget;
+    max_queue;
+  }
+
+let serve_cmd scale seed schema data socket parallel statement_cache plan_cache
+    result_cache admission_budget max_queue verbose trace metrics =
+  setup_logs verbose;
+  setup_obs ~trace ~trace_json:None ~metrics ~profile:false ();
+  let socket =
+    match socket with
+    | Some path -> path
+    | None -> invalid_arg "serve requires --socket PATH"
+  in
+  let db = setup_db scale seed schema data in
+  let config =
+    server_config parallel statement_cache plan_cache result_cache
+      admission_budget max_queue
+  in
+  let server = Server.Service.create ~config db in
+  Printf.eprintf "[serving on %s: %d domain(s), caches %d/%d/%dB, budget %d]\n%!"
+    socket parallel statement_cache plan_cache result_cache admission_budget;
+  Server.Service.serve_unix server ~socket;
+  prerr_endline (Server.Service.render_stats server);
+  report_obs ~trace ~trace_json:None ~metrics ~profile:false ()
+
+let clients_arg =
+  let doc = "Workload clients." in
+  Arg.(
+    value
+    & opt int Server.Workload.default_config.Server.Workload.clients
+    & info [ "clients" ] ~docv:"N" ~doc)
+
+let requests_arg =
+  let doc = "Requests per client." in
+  Arg.(
+    value
+    & opt int Server.Workload.default_config.Server.Workload.requests_per_client
+    & info [ "requests" ] ~docv:"N" ~doc)
+
+let workload_seed_arg =
+  let doc = "Workload script seed (the request mix is a pure function of it)." in
+  Arg.(
+    value
+    & opt int Server.Workload.default_config.Server.Workload.seed
+    & info [ "workload-seed" ] ~docv:"N" ~doc)
+
+let invalidate_every_arg =
+  let doc =
+    "Client 0 replaces every $(docv)-th query with a stats-epoch \
+     invalidation (0 disables)."
+  in
+  Arg.(
+    value
+    & opt int Server.Workload.default_config.Server.Workload.invalidate_every
+    & info [ "invalidate-every" ] ~docv:"N" ~doc)
+
+let threads_arg =
+  let doc =
+    "Give each in-process client its own thread (real concurrency through \
+     admission and the pool) instead of the deterministic round-robin \
+     replay."
+  in
+  Arg.(value & flag & info [ "threads" ] ~doc)
+
+let no_verify_arg =
+  let doc = "Skip the byte-identity check against the direct pipeline." in
+  Arg.(value & flag & info [ "no-verify" ] ~doc)
+
+let server_stats_arg =
+  let doc = "After the replay, print the server's counter report." in
+  Arg.(value & flag & info [ "server-stats" ] ~doc)
+
+let shutdown_arg =
+  let doc = "After the replay, tell the --socket server to shut down." in
+  Arg.(value & flag & info [ "shutdown" ] ~doc)
+
+let workload_cmd scale seed schema data socket parallel statement_cache
+    plan_cache result_cache admission_budget max_queue clients requests
+    workload_seed invalidate_every threads no_verify server_stats shutdown
+    verbose =
+  setup_logs verbose;
+  let verify = not no_verify in
+  let db = setup_db scale seed schema data in
+  let views = Server.Workload.standard_views ~verify db in
+  let cfg =
+    {
+      Server.Workload.default_config with
+      Server.Workload.clients;
+      requests_per_client = requests;
+      seed = workload_seed;
+      invalidate_every;
+    }
+  in
+  let tally =
+    match socket with
+    | Some socket ->
+        let tally = Server.Workload.run_socket ~verify ~socket ~views cfg in
+        (if server_stats then
+           match Server.Workload.request ~socket Server.Protocol.Stats with
+           | Some (Server.Protocol.Info report) -> prerr_endline report
+           | _ -> prerr_endline "[no stats reply]");
+        if shutdown then
+          ignore (Server.Workload.request ~socket Server.Protocol.Shutdown);
+        tally
+    | None ->
+        let config =
+          server_config parallel statement_cache plan_cache result_cache
+            admission_budget max_queue
+        in
+        let server = Server.Service.create ~config db in
+        let tally =
+          Server.Workload.run_direct ~threads ~verify server ~views cfg
+        in
+        if server_stats then
+          prerr_endline (Server.Service.render_stats server);
+        Server.Service.shutdown server;
+        tally
+  in
+  print_endline (Server.Workload.render tally);
+  if tally.Server.Workload.mismatches <> [] then exit 1;
+  if tally.Server.Workload.failed > 0 then exit 2
+
 let run_t =
   Term.(
     const run_cmd $ query_arg $ view_arg $ scale_arg $ seed_arg $ schema_arg
@@ -453,9 +627,40 @@ let diagnose_t =
     $ schema_arg $ data_arg $ strategy_arg $ no_reduce_arg $ budget_arg
     $ verbose_arg $ skew_stats_arg)
 
+let serve_t =
+  Term.(
+    const serve_cmd $ scale_arg $ seed_arg $ schema_arg $ data_arg
+    $ socket_arg "to listen on (required)"
+    $ parallel_arg $ statement_cache_arg $ plan_cache_arg $ result_cache_arg
+    $ admission_budget_arg $ max_queue_arg $ verbose_arg $ trace_arg
+    $ metrics_arg)
+
+let workload_t =
+  Term.(
+    const workload_cmd $ scale_arg $ seed_arg $ schema_arg $ data_arg
+    $ socket_arg "of a running server (default: serve in-process)"
+    $ parallel_arg $ statement_cache_arg $ plan_cache_arg $ result_cache_arg
+    $ admission_budget_arg $ max_queue_arg $ clients_arg $ requests_arg
+    $ workload_seed_arg $ invalidate_every_arg $ threads_arg $ no_verify_arg
+    $ server_stats_arg $ shutdown_arg $ verbose_arg)
+
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Materialize the XML view.") run_t;
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Run the query server: statement/plan/result caches and \
+            admission control in front of the worker-domain pool, speaking \
+            the length-prefixed protocol on a Unix-domain socket.")
+      serve_t;
+    Cmd.v
+      (Cmd.info "workload"
+         ~doc:
+           "Replay a deterministic multi-client request mix against the \
+            server (in-process, or over --socket) and verify every result \
+            byte-for-byte against the direct pipeline.")
+      workload_t;
     Cmd.v
       (Cmd.info "explain"
          ~doc:

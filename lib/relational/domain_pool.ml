@@ -119,7 +119,12 @@ let await h =
   match st with
   | Done v -> v
   | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
-  | Pending -> assert false
+  | Pending ->
+      (* the wait loop above only exits on Done/Failed; reaching here
+         means the handle state machine itself is broken *)
+      invalid_arg
+        "Domain_pool.await: task handle still Pending after its condition \
+         was signalled"
 
 let shutdown p =
   Mutex.protect p.qm (fun () -> p.closed <- true);

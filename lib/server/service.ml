@@ -1,0 +1,535 @@
+(* The query service: three cache tiers in front of execution, admission
+   control in front of the worker pool.
+
+   Per query the path is
+
+     statement tier -> plan tier -> result tier -> admission -> pool
+
+   and every step is observable: the [server.request] span carries which
+   tiers hit, the admission outcome and the engine work spent; admission
+   queueing/rejection and cache evictions emit events.
+
+   Locking: each LRU tier has its own mutex (see Lru); [plan_m]
+   serializes plan-tier misses so concurrent sessions cannot duplicate
+   planning work or race the cost oracle's request counter; [adm_m] +
+   [adm_cv] guard the in-flight work account.  Nothing holds two locks
+   at once, and no lock is held across execution. *)
+
+module R = Relational
+module S = Silkroute
+
+type config = {
+  domains : int;
+  statement_capacity : int;
+  plan_capacity : int;
+  result_capacity : int;
+  admission_budget : int;
+  max_queue : int;
+}
+
+let default_config =
+  {
+    domains = 1;
+    statement_capacity = 32;
+    plan_capacity = 128;
+    result_capacity = 8 * 1024 * 1024;
+    admission_budget = 0;
+    max_queue = 64;
+  }
+
+type admission = Admit | Queue | Reject of string
+
+(* Pure decision, applied under [adm_m]: a query that can never fit is
+   rejected outright (waiting would deadlock the queue), one that does
+   not fit now queues, and a full queue sheds load instead of building
+   an unbounded convoy. *)
+let admission_decision c ~est_cost ~in_flight ~waiting =
+  if c.admission_budget <= 0 then Admit
+  else
+    let budget = float_of_int c.admission_budget in
+    if est_cost > budget then
+      Reject
+        (Printf.sprintf
+           "estimated cost %.0f exceeds the admission budget %d" est_cost
+           c.admission_budget)
+    else if in_flight +. est_cost <= budget then Admit
+    else if waiting >= c.max_queue then
+      Reject (Printf.sprintf "admission queue full (%d waiting)" waiting)
+    else Queue
+
+(* Plan-tier entry: everything planning produced that later requests can
+   reuse — the chosen point of the 2^|E| lattice, the greedy lattice
+   result (for reporting) and the admission estimate. *)
+type plan_entry = {
+  pe_mask : int;
+  pe_planner : S.Planner.result option;
+  pe_est_cost : float;
+}
+
+(* Result-tier entry: exactly the bytes the uncached path produced. *)
+type result_entry = { rx_xml : string; rx_work : int }
+
+type counters = {
+  requests : int;
+  queries : int;
+  admitted : int;
+  queued : int;
+  rejected : int;
+  failed : int;
+  invalidations : int;
+  executed_work : int;
+}
+
+type t = {
+  db : R.Database.t;
+  cfg : config;
+  stats : R.Stats.t;  (* shared catalog; skewed in place by [invalidate] *)
+  oracle : R.Cost.oracle;
+  pool : R.Domain_pool.t;
+  statements : S.Middleware.prepared Lru.t;
+  plans : plan_entry Lru.t;
+  results : result_entry Lru.t;
+  epoch : int Atomic.t;
+  closed : bool Atomic.t;
+  plan_m : Mutex.t;
+  (* admission account *)
+  adm_m : Mutex.t;
+  adm_cv : Condition.t;
+  mutable in_flight : float;
+  mutable waiting : int;
+  (* counters *)
+  cm : Mutex.t;
+  mutable c : counters;
+}
+
+let zero_counters =
+  {
+    requests = 0;
+    queries = 0;
+    admitted = 0;
+    queued = 0;
+    rejected = 0;
+    failed = 0;
+    invalidations = 0;
+    executed_work = 0;
+  }
+
+let create ?(config = default_config) db =
+  if config.domains < 1 then
+    invalid_arg "Server.create: domains must be >= 1";
+  let stats = R.Stats.analyze db in
+  {
+    db;
+    cfg = config;
+    stats;
+    oracle = R.Cost.oracle_with_stats db stats;
+    pool = R.Domain_pool.create ~domains:config.domains;
+    statements =
+      Lru.create ~name:"statement" ~capacity:config.statement_capacity ();
+    plans = Lru.create ~name:"plan" ~capacity:config.plan_capacity ();
+    results = Lru.create ~name:"result" ~capacity:config.result_capacity ();
+    epoch = Atomic.make 0;
+    closed = Atomic.make false;
+    plan_m = Mutex.create ();
+    adm_m = Mutex.create ();
+    adm_cv = Condition.create ();
+    in_flight = 0.0;
+    waiting = 0;
+    cm = Mutex.create ();
+    c = zero_counters;
+  }
+
+let config t = t.cfg
+let stats_epoch t = Atomic.get t.epoch
+let counters t = Mutex.protect t.cm (fun () -> t.c)
+let bump f t = Mutex.protect t.cm (fun () -> t.c <- f t.c)
+
+let tier_stats t = (Lru.stats t.statements, Lru.stats t.plans, Lru.stats t.results)
+
+(* --- strategies --------------------------------------------------------- *)
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "unified" -> S.Middleware.Unified
+  | "partitioned" | "fully-partitioned" -> S.Middleware.Fully_partitioned
+  | "greedy" -> S.Middleware.Greedy S.Planner.default_params
+  | s when String.length s > 6 && String.sub s 0 6 = "edges:" -> (
+      match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+      | Some mask when mask >= 0 -> S.Middleware.Edges mask
+      | _ -> invalid_arg ("Server: bad edge mask in strategy: " ^ s))
+  | s -> invalid_arg ("Server: unknown strategy: " ^ s)
+
+let strategy_key = function
+  | S.Middleware.Unified -> "unified"
+  | S.Middleware.Fully_partitioned -> "partitioned"
+  | S.Middleware.Edges mask -> "edges:" ^ string_of_int mask
+  | S.Middleware.Greedy _ -> "greedy"
+
+(* --- cache tiers -------------------------------------------------------- *)
+
+let tier_metric tier hit =
+  if Obs.Span.tracing () then
+    Obs.Metrics.incr
+      (Printf.sprintf "server.cache.%s.%s" tier (if hit then "hit" else "miss"))
+
+(* Statement tier: keyed by the raw RXL source text.  The prepared value
+   shares the server's forced catalog, so execution under tracing never
+   re-analyzes the database and OCaml 5's RacyLazy cannot fire on the
+   pool. *)
+let statement_of t view =
+  match Lru.find t.statements view with
+  | Some p ->
+      tier_metric "statement" true;
+      (p, true)
+  | None ->
+      tier_metric "statement" false;
+      let p = S.Middleware.prepare_text t.db view in
+      let p = { p with S.Middleware.stats = Lazy.from_val t.stats } in
+      Lru.add t.statements view p;
+      (p, false)
+
+let view_digest view = Digest.to_hex (Digest.string view)
+
+let plan_key ~digest ~skey ~reduce ~epoch =
+  Printf.sprintf "%s|%s|%b|e%d" digest skey reduce epoch
+
+let result_key ~digest ~mask ~reduce ~epoch =
+  Printf.sprintf "%s|m%d|%b|e%d" digest mask reduce epoch
+
+let sql_options (p : S.Middleware.prepared) ~reduce =
+  {
+    S.Sql_gen.style = S.Sql_gen.Outer_join;
+    labels = (if reduce then Some p.S.Middleware.labels else None);
+  }
+
+(* Admission estimate for a partition: the cost oracle summed over the
+   plan's sub-queries — the same work-unit scale as the execution budget
+   machinery. *)
+let estimate_cost t (p : S.Middleware.prepared) partition ~reduce =
+  let streams =
+    S.Sql_gen.streams p.S.Middleware.db p.S.Middleware.tree partition
+      (sql_options p ~reduce)
+  in
+  List.fold_left
+    (fun acc (s : S.Sql_gen.stream) ->
+      acc +. (R.Cost.ask t.oracle s.S.Sql_gen.query).R.Cost.eval_cost)
+    0.0 streams
+
+(* Plan tier: compute misses under [plan_m] so concurrent sessions
+   asking for the same (view, strategy, epoch) plan it once. *)
+let plan_of t (p : S.Middleware.prepared) ~digest ~strategy ~reduce ~epoch =
+  let skey = strategy_key strategy in
+  let key = plan_key ~digest ~skey ~reduce ~epoch in
+  match Lru.find t.plans key with
+  | Some pe ->
+      tier_metric "plan" true;
+      (* the planner's fragment-cost cache counter is the metric the
+         paper-level reports already watch; a plan-tier hit is the same
+         phenomenon one level up *)
+      if Obs.Span.tracing () then Obs.Metrics.incr "planner.cache_hits";
+      (pe, true)
+  | None ->
+      tier_metric "plan" false;
+      Mutex.protect t.plan_m (fun () ->
+          match Lru.peek t.plans key with
+          | Some pe -> (pe, true)
+          | None ->
+              let tree = p.S.Middleware.tree in
+              let planner, partition =
+                match strategy with
+                | S.Middleware.Greedy params ->
+                    let r =
+                      S.Planner.gen_plan ~reduce t.db t.oracle tree
+                        p.S.Middleware.labels params
+                    in
+                    (Some r, S.Planner.best_plan tree r)
+                | other -> (None, S.Middleware.partition_of p other)
+              in
+              let pe =
+                {
+                  pe_mask = S.Partition.to_mask partition;
+                  pe_planner = planner;
+                  pe_est_cost = estimate_cost t p partition ~reduce;
+                }
+              in
+              Lru.add t.plans key pe;
+              (pe, false))
+
+(* --- admission ---------------------------------------------------------- *)
+
+(* Returns [Ok had_to_queue] after charging [est] to the in-flight
+   account, or [Error reason].  The caller must [release] exactly once
+   per [Ok]. *)
+let admit t est =
+  Mutex.protect t.adm_m (fun () ->
+      match
+        admission_decision t.cfg ~est_cost:est ~in_flight:t.in_flight
+          ~waiting:t.waiting
+      with
+      | Reject reason -> Error reason
+      | Admit ->
+          t.in_flight <- t.in_flight +. est;
+          Ok false
+      | Queue ->
+          t.waiting <- t.waiting + 1;
+          let budget = float_of_int t.cfg.admission_budget in
+          while t.in_flight > 0.0 && t.in_flight +. est > budget do
+            Condition.wait t.adm_cv t.adm_m
+          done;
+          t.waiting <- t.waiting - 1;
+          t.in_flight <- t.in_flight +. est;
+          Ok true)
+
+let release t est () =
+  Mutex.protect t.adm_m (fun () -> t.in_flight <- t.in_flight -. est);
+  Condition.broadcast t.adm_cv
+
+(* --- queries ------------------------------------------------------------ *)
+
+let execute_on_pool t (p : S.Middleware.prepared) partition ~reduce =
+  let handle =
+    R.Domain_pool.submit t.pool (fun () ->
+        let e = S.Middleware.execute ~reduce p partition in
+        (S.Middleware.xml_string_of p e, e.S.Middleware.work))
+  in
+  R.Domain_pool.await handle
+
+let query t ~view ~strategy ~reduce =
+  bump (fun c -> { c with queries = c.queries + 1 }) t;
+  if Atomic.get t.closed then Protocol.Failed "server is shut down"
+  else
+    Obs.Span.with_span "server.request" (fun () ->
+        try
+          let strat = strategy_of_string strategy in
+          if Obs.Span.tracing () then
+            Obs.Span.add_list
+              [
+                Obs.Attr.string "strategy" (strategy_key strat);
+                Obs.Attr.bool "reduce" reduce;
+              ];
+          let p, statement_hit = statement_of t view in
+          let digest = view_digest view in
+          let epoch = Atomic.get t.epoch in
+          let pe, plan_hit =
+            plan_of t p ~digest ~strategy:strat ~reduce ~epoch
+          in
+          let tiers hit =
+            { Protocol.statement_hit; plan_hit; result_hit = hit }
+          in
+          let rkey = result_key ~digest ~mask:pe.pe_mask ~reduce ~epoch in
+          match Lru.find t.results rkey with
+          | Some r ->
+              tier_metric "result" true;
+              if Obs.Span.tracing () then
+                Obs.Span.add_list
+                  [
+                    Obs.Attr.bool "cache.result" true;
+                    Obs.Attr.int "bytes" (String.length r.rx_xml);
+                  ];
+              Protocol.Result
+                {
+                  xml = r.rx_xml;
+                  tiers = tiers true;
+                  work = 0;
+                  est_cost = pe.pe_est_cost;
+                }
+          | None -> (
+              tier_metric "result" false;
+              match admit t pe.pe_est_cost with
+              | Error reason ->
+                  bump (fun c -> { c with rejected = c.rejected + 1 }) t;
+                  if Obs.Span.tracing () then begin
+                    Obs.Span.add "admission" (Obs.Attr.String "rejected");
+                    Obs.Event.warn "server.admission.reject"
+                      ~attrs:
+                        [
+                          Obs.Attr.string "reason" reason;
+                          Obs.Attr.float "est_cost" pe.pe_est_cost;
+                        ]
+                  end;
+                  Protocol.Rejected reason
+              | Ok had_to_queue ->
+                  bump
+                    (fun c ->
+                      {
+                        c with
+                        admitted = c.admitted + 1;
+                        queued = (c.queued + if had_to_queue then 1 else 0);
+                      })
+                    t;
+                  if Obs.Span.tracing () then begin
+                    Obs.Span.add "admission"
+                      (Obs.Attr.String
+                         (if had_to_queue then "queued" else "admitted"));
+                    if had_to_queue then
+                      Obs.Event.debug "server.admission.queued"
+                        ~attrs:[ Obs.Attr.float "est_cost" pe.pe_est_cost ]
+                  end;
+                  let partition =
+                    S.Partition.of_mask p.S.Middleware.tree pe.pe_mask
+                  in
+                  let xml, work =
+                    Fun.protect
+                      ~finally:(release t pe.pe_est_cost)
+                      (fun () -> execute_on_pool t p partition ~reduce)
+                  in
+                  Lru.add ~weight:(String.length xml) t.results rkey
+                    { rx_xml = xml; rx_work = work };
+                  bump
+                    (fun c ->
+                      { c with executed_work = c.executed_work + work })
+                    t;
+                  if Obs.Span.tracing () then
+                    Obs.Span.add_list
+                      [
+                        Obs.Attr.int "work" work;
+                        Obs.Attr.int "bytes" (String.length xml);
+                      ];
+                  Protocol.Result
+                    {
+                      xml;
+                      tiers = tiers false;
+                      work;
+                      est_cost = pe.pe_est_cost;
+                    })
+        with e ->
+          bump (fun c -> { c with failed = c.failed + 1 }) t;
+          let msg =
+            match e with Invalid_argument m -> m | e -> Printexc.to_string e
+          in
+          if Obs.Span.tracing () then
+            Obs.Event.error "server.request.failed"
+              ~attrs:[ Obs.Attr.string "error" msg ];
+          Protocol.Failed msg)
+
+(* --- invalidation ------------------------------------------------------- *)
+
+let invalidate ?skew t =
+  Mutex.protect t.plan_m (fun () ->
+      (match skew with
+      | Some (table, factor) -> R.Stats.scale_table t.stats table factor
+      | None -> ());
+      ignore (Atomic.fetch_and_add t.epoch 1));
+  (* entries of older epochs can never be looked up again (the epoch is
+     part of the key); flushing reclaims their space immediately *)
+  Lru.clear t.plans;
+  Lru.clear t.results;
+  bump (fun c -> { c with invalidations = c.invalidations + 1 }) t;
+  if Obs.Span.tracing () then
+    Obs.Event.info "server.invalidate"
+      ~attrs:
+        ([ Obs.Attr.int "epoch" (Atomic.get t.epoch) ]
+        @
+        match skew with
+        | Some (table, factor) ->
+            [ Obs.Attr.string "table" table; Obs.Attr.float "factor" factor ]
+        | None -> [])
+
+(* --- reporting ---------------------------------------------------------- *)
+
+let render_tier (s : Lru.stats) name =
+  Printf.sprintf
+    "%s: hits=%d misses=%d insertions=%d evictions=%d flushes=%d entries=%d \
+     weight=%d"
+    name s.Lru.hits s.Lru.misses s.Lru.insertions s.Lru.evictions s.Lru.flushes
+    s.Lru.entries s.Lru.weight
+
+let render_stats t =
+  let c = counters t in
+  let st, pl, re = tier_stats t in
+  String.concat "\n"
+    [
+      Printf.sprintf
+        "server: requests=%d queries=%d admitted=%d queued=%d rejected=%d \
+         failed=%d invalidations=%d epoch=%d work=%d"
+        c.requests c.queries c.admitted c.queued c.rejected c.failed
+        c.invalidations (stats_epoch t) c.executed_work;
+      render_tier st "statement";
+      render_tier pl "plan";
+      render_tier re "result";
+    ]
+
+(* --- lifecycle / protocol ------------------------------------------------ *)
+
+let shutdown t =
+  if not (Atomic.exchange t.closed true) then begin
+    (* wake queued admissions so their sessions can fail out *)
+    Mutex.protect t.adm_m (fun () -> ());
+    Condition.broadcast t.adm_cv;
+    R.Domain_pool.shutdown t.pool
+  end
+
+let handle t req =
+  bump (fun c -> { c with requests = c.requests + 1 }) t;
+  match req with
+  | Protocol.Query { view; strategy; reduce } -> query t ~view ~strategy ~reduce
+  | Protocol.Invalidate { table; factor } -> (
+      match
+        if table = "" then Ok None
+        else if factor <= 0.0 then
+          Error (Printf.sprintf "bad skew factor %g for table %s" factor table)
+        else Ok (Some (table, factor))
+      with
+      | Error msg ->
+          bump (fun c -> { c with failed = c.failed + 1 }) t;
+          Protocol.Failed msg
+      | Ok skew -> (
+          match invalidate ?skew t with
+          | () ->
+              Protocol.Info
+                (Printf.sprintf "invalidated; stats epoch now %d"
+                   (stats_epoch t))
+          | exception Invalid_argument msg ->
+              bump (fun c -> { c with failed = c.failed + 1 }) t;
+              Protocol.Failed msg))
+  | Protocol.Stats -> Protocol.Info (render_stats t)
+  | Protocol.Shutdown ->
+      shutdown t;
+      Protocol.Info "shutting down"
+
+let serve_unix ?(session_threads = true) t ~socket =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX socket);
+  Unix.listen sock 64;
+  let stop = Atomic.make false in
+  let threads = ref [] in
+  let session fd =
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let rec loop () =
+      match Protocol.read_request ic with
+      | None -> ()
+      | Some req -> (
+          let reply = handle t req in
+          Protocol.write_reply oc reply;
+          match req with
+          | Protocol.Shutdown -> Atomic.set stop true
+          | _ -> loop ())
+    in
+    (try loop () with
+    | Protocol.Protocol_error msg -> (
+        try Protocol.write_reply oc (Protocol.Failed ("protocol error: " ^ msg))
+        with Sys_error _ -> ())
+    | End_of_file | Sys_error _ -> ());
+    close_out_noerr oc
+  in
+  let rec accept_loop () =
+    if not (Atomic.get stop) then begin
+      (match Unix.select [ sock ] [] [] 0.1 with
+      | [], _, _ -> ()
+      | _ ->
+          let fd, _ = Unix.accept sock in
+          if session_threads then
+            threads := Thread.create session fd :: !threads
+          else session fd);
+      accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      List.iter Thread.join !threads;
+      shutdown t)
+    accept_loop

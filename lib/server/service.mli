@@ -1,0 +1,105 @@
+(** The long-running query service (ROADMAP "query server + caching
+    middleware"): a session scheduler over {!Relational.Domain_pool}
+    with admission control and three cache tiers in front of execution.
+
+    {b Tiers}, checked in order for every query:
+    - {e statement cache} — RXL source text → prepared view tree
+      (parse + label work), keyed by the source text itself;
+    - {e plan cache} — (view, strategy/partition mask, stats epoch) →
+      chosen partition, the greedy planner's costed lattice result and
+      the admission cost estimate;
+    - {e result cache} — (view, partition mask, stats epoch) → the
+      serialized XML document, under a byte-weight storage budget
+      (materialized-view selection under a storage budget, Mahboubi et
+      al.).
+
+    Plan and result entries embed the {e stats epoch} in their key:
+    {!invalidate} bumps the epoch (optionally skewing one table's
+    catalog entry first, [--skew-stats]-style), flushing both tiers in
+    O(1) while the statement tier — which does not depend on statistics
+    — survives.
+
+    {b Admission control}: each query's estimated engine work (the cost
+    oracle summed over the plan's sub-queries) is charged against a
+    budget of in-flight work.  A query that can never fit is rejected
+    outright; one that does not fit {e now} waits in a bounded queue and
+    is rejected when the queue is full.  Result-cache hits bypass
+    admission entirely — that is the point of the cache.
+
+    Cached and uncached paths return byte-identical XML: the result tier
+    stores exactly the bytes the uncached path produced. *)
+
+type config = {
+  domains : int;  (** worker-domain pool size; 1 executes inline *)
+  statement_capacity : int;  (** entries *)
+  plan_capacity : int;  (** entries *)
+  result_capacity : int;  (** bytes of serialized XML *)
+  admission_budget : int;
+      (** max estimated work units in flight; 0 = unlimited *)
+  max_queue : int;  (** waiting admissions beyond which queries are rejected *)
+}
+
+val default_config : config
+
+(** What admission control decided for one query. *)
+type admission = Admit | Queue | Reject of string
+
+val admission_decision :
+  config -> est_cost:float -> in_flight:float -> waiting:int -> admission
+(** The pure decision function ({!submit} applies it under the
+    admission lock): reject when [est_cost] exceeds the whole budget or
+    the queue is full, queue while the budget is occupied, admit
+    otherwise.  Exposed for tests. *)
+
+type t
+
+val create : ?config:config -> Relational.Database.t -> t
+(** Analyzes the database once (the shared catalog all estimates and
+    epochs refer to) and starts the worker pool. *)
+
+val config : t -> config
+val stats_epoch : t -> int
+
+val query :
+  t -> view:string -> strategy:string -> reduce:bool -> Protocol.reply
+(** Runs one query through the tiers + admission + pool.  Thread-safe;
+    blocks while queued.  [strategy] is [unified], [partitioned],
+    [fully-partitioned], [greedy] or [edges:MASK]. *)
+
+val invalidate : ?skew:string * float -> t -> unit
+(** Bumps the stats epoch and flushes the plan and result tiers.
+    [skew = (table, factor)] first scales that table's catalog entry in
+    place, modeling a catalog change that makes cached plans stale. *)
+
+val handle : t -> Protocol.request -> Protocol.reply
+(** Full protocol dispatcher: {!query} / {!invalidate} / stats report /
+    shutdown acknowledgement. *)
+
+(** Scheduler counters (cache-tier counters live in {!tier_stats}). *)
+type counters = {
+  requests : int;  (** protocol requests handled *)
+  queries : int;
+  admitted : int;
+  queued : int;  (** admitted queries that had to wait *)
+  rejected : int;
+  failed : int;
+  invalidations : int;
+  executed_work : int;  (** engine work spent on uncached executions *)
+}
+
+val counters : t -> counters
+
+val tier_stats : t -> Lru.stats * Lru.stats * Lru.stats
+(** (statement, plan, result). *)
+
+val render_stats : t -> string
+(** Human-readable counter report (also served over the protocol). *)
+
+val shutdown : t -> unit
+(** Drains the worker pool; later queries fail.  Idempotent. *)
+
+val serve_unix : ?session_threads:bool -> t -> socket:string -> unit
+(** Binds a Unix-domain socket at [socket] and serves sessions until a
+    [Shutdown] request arrives; each accepted connection gets its own
+    session thread (unless [session_threads] is false, for tests).
+    Removes the socket file on exit and calls {!shutdown}. *)

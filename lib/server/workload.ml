@@ -1,0 +1,259 @@
+module R = Relational
+module S = Silkroute
+
+type view = { wv_name : string; wv_text : string; wv_expected : string option }
+
+(* Reference output via the plain middleware path: unified partition, no
+   reduction — any plan of the lattice must produce these exact bytes,
+   so one reference per view checks every strategy the script draws. *)
+let reference db text =
+  let p = S.Middleware.prepare_text db text in
+  let partition = S.Middleware.partition_of p S.Middleware.Unified in
+  let e = S.Middleware.execute p partition in
+  S.Middleware.xml_string_of p e
+
+let standard_views ?(verify = true) db =
+  List.map
+    (fun (wv_name, wv_text) ->
+      {
+        wv_name;
+        wv_text;
+        wv_expected = (if verify then Some (reference db wv_text) else None);
+      })
+    [
+      ("query1", S.Queries.query1_text);
+      ("query2", S.Queries.query2_text);
+      ("fragment", S.Queries.fragment_text);
+    ]
+
+type config = {
+  clients : int;
+  requests_per_client : int;
+  seed : int;
+  strategies : string list;
+  invalidate_every : int;
+}
+
+let default_config =
+  {
+    clients = 4;
+    requests_per_client = 24;
+    seed = 42;
+    strategies = [ "greedy"; "unified"; "partitioned"; "edges:1"; "edges:3" ];
+    invalidate_every = 10;
+  }
+
+let script ~views cfg =
+  if views = [] then invalid_arg "Workload.script: no views";
+  if cfg.strategies = [] then invalid_arg "Workload.script: no strategies";
+  let views = Array.of_list views in
+  let strategies = Array.of_list cfg.strategies in
+  Array.init cfg.clients (fun client ->
+      let st = Random.State.make [| cfg.seed; client |] in
+      Array.init cfg.requests_per_client (fun i ->
+          if
+            cfg.invalidate_every > 0 && client = 0 && i > 0
+            && i mod cfg.invalidate_every = 0
+          then Protocol.Invalidate { table = ""; factor = 1.0 }
+          else
+            let v = views.(Random.State.int st (Array.length views)) in
+            let s = strategies.(Random.State.int st (Array.length strategies)) in
+            Protocol.Query
+              { view = v.wv_text; strategy = s; reduce = Random.State.bool st }))
+
+type tally = {
+  queries : int;
+  results : int;
+  statement_hits : int;
+  plan_hits : int;
+  result_hits : int;
+  rejected : int;
+  failed : int;
+  infos : int;
+  work : int;
+  bytes : int;
+  mismatches : string list;
+  errors : string list;
+}
+
+let empty_tally =
+  {
+    queries = 0;
+    results = 0;
+    statement_hits = 0;
+    plan_hits = 0;
+    result_hits = 0;
+    rejected = 0;
+    failed = 0;
+    infos = 0;
+    work = 0;
+    bytes = 0;
+    mismatches = [];
+    errors = [];
+  }
+
+(* The transport-agnostic replay core: scripts plus a thread-safe
+   recorder.  Transports drive iteration themselves (sequential
+   round-robin or one thread per client) and feed every (request, reply)
+   pair through [record]. *)
+let recorder ~views ~verify cfg =
+  let expected = Hashtbl.create 8 in
+  if verify then
+    List.iter
+      (fun v ->
+        match v.wv_expected with
+        | Some xml -> Hashtbl.replace expected v.wv_text (v.wv_name, xml)
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Workload: verification requested but view %s has no \
+                  reference output"
+                 v.wv_name))
+      views;
+  let m = Mutex.create () in
+  let t = ref empty_tally in
+  let bump f = Mutex.protect m (fun () -> t := f !t) in
+  let record client i req reply =
+    match (req, reply) with
+    | ( Protocol.Query { view; strategy; _ },
+        Protocol.Result { xml = got; tiers; work; _ } ) ->
+        let mismatch =
+          if not verify then None
+          else
+            match Hashtbl.find_opt expected view with
+            | Some (_, xml) when String.equal xml got -> None
+            | Some (name, _) ->
+                Some
+                  (Printf.sprintf
+                     "client %d request %d: view %s under %s returned %d \
+                      bytes that differ from the reference"
+                     client i name strategy (String.length got))
+            | None ->
+                Some
+                  (Printf.sprintf
+                     "client %d request %d: reply for an unknown view" client i)
+        in
+        bump (fun t ->
+            {
+              t with
+              queries = t.queries + 1;
+              results = t.results + 1;
+              statement_hits =
+                (t.statement_hits + if tiers.Protocol.statement_hit then 1 else 0);
+              plan_hits = (t.plan_hits + if tiers.Protocol.plan_hit then 1 else 0);
+              result_hits =
+                (t.result_hits + if tiers.Protocol.result_hit then 1 else 0);
+              work = t.work + work;
+              bytes = t.bytes + String.length got;
+              mismatches =
+                (match mismatch with
+                | Some msg -> msg :: t.mismatches
+                | None -> t.mismatches);
+            })
+    | Protocol.Query _, Protocol.Rejected _ ->
+        bump (fun t ->
+            { t with queries = t.queries + 1; rejected = t.rejected + 1 })
+    | _, Protocol.Info _ -> bump (fun t -> { t with infos = t.infos + 1 })
+    | _, Protocol.Rejected _ ->
+        bump (fun t -> { t with rejected = t.rejected + 1 })
+    | req, Protocol.Failed msg ->
+        let queries =
+          match req with Protocol.Query _ -> 1 | _ -> 0
+        in
+        bump (fun t ->
+            {
+              t with
+              queries = t.queries + queries;
+              failed = t.failed + 1;
+              errors =
+                (if List.mem msg t.errors then t.errors else msg :: t.errors);
+            })
+    | _, Protocol.Result _ ->
+        bump (fun t ->
+            {
+              t with
+              failed = t.failed + 1;
+              errors = "result reply to a non-query request" :: t.errors;
+            })
+  in
+  let finish () =
+    let t = Mutex.protect m (fun () -> !t) in
+    { t with mismatches = List.rev t.mismatches; errors = List.rev t.errors }
+  in
+  (script ~views cfg, record, finish)
+
+let run_client scripts record client send =
+  Array.iteri (fun i req -> record client i req (send req)) scripts.(client)
+
+let run_direct ?(threads = false) ?(verify = true) server ~views cfg =
+  let scripts, record, finish = recorder ~views ~verify cfg in
+  let send req = Service.handle server req in
+  if threads then begin
+    let ts =
+      List.init (Array.length scripts) (fun c ->
+          Thread.create (fun () -> run_client scripts record c send) ())
+    in
+    List.iter Thread.join ts
+  end
+  else begin
+    (* round-robin interleave: client 0 request 0, client 1 request 0, …
+       — deterministic, and still exercises cross-client cache reuse *)
+    let longest =
+      Array.fold_left (fun acc ops -> max acc (Array.length ops)) 0 scripts
+    in
+    for i = 0 to longest - 1 do
+      Array.iteri
+        (fun c ops -> if i < Array.length ops then record c i ops.(i) (send ops.(i)))
+        scripts
+    done
+  end;
+  finish ()
+
+let request ~socket req =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      Protocol.write_request oc req;
+      Protocol.read_reply ic)
+
+let run_socket ?(verify = true) ~socket ~views cfg =
+  let scripts, record, finish = recorder ~views ~verify cfg in
+  let client c () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        let send req =
+          Protocol.write_request oc req;
+          match Protocol.read_reply ic with
+          | Some reply -> reply
+          | None -> Protocol.Failed "server closed the connection"
+        in
+        run_client scripts record c send)
+  in
+  let ts = List.init (Array.length scripts) (fun c -> Thread.create (client c) ()) in
+  List.iter Thread.join ts;
+  finish ()
+
+let render t =
+  String.concat "\n"
+    [
+      Printf.sprintf
+        "workload: queries=%d results=%d rejected=%d failed=%d infos=%d"
+        t.queries t.results t.rejected t.failed t.infos;
+      Printf.sprintf "hits: statement=%d plan=%d result=%d" t.statement_hits
+        t.plan_hits t.result_hits;
+      Printf.sprintf "volume: work=%d bytes=%d" t.work t.bytes;
+      Printf.sprintf "identity: mismatches=%d%s" (List.length t.mismatches)
+        (match t.mismatches with [] -> "" | m :: _ -> " first=" ^ m);
+      (match t.errors with
+      | [] -> "errors: none"
+      | es -> "errors: " ^ String.concat "; " es);
+    ]

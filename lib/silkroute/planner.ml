@@ -59,10 +59,15 @@ let gen_plan ?(reduce = false) (db : R.Database.t) (oracle : R.Cost.oracle)
       labels = (if reduce then Some labels else None);
     }
   in
+  (* The fragment-cost cache is keyed by member *set*: keys are
+     canonicalized (sorted) so the same set arriving in a different
+     order — e.g. the [f1 @ f2] concatenation of two component lists —
+     cannot miss an earlier entry. *)
   let cache : (int list, float) Hashtbl.t = Hashtbl.create 64 in
+  let canonical_key members = List.sort compare members in
   let cache_hits = ref 0 in
   let cost_of members =
-    let key = List.sort compare members in
+    let key = canonical_key members in
     let members_str () =
       String.concat "," (List.map string_of_int key)
     in
@@ -169,15 +174,27 @@ let gen_plan ?(reduce = false) (db : R.Database.t) (oracle : R.Cost.oracle)
     cache_hits = !cache_hits;
   })
 
+(* Positions of a result's edges in the tree's edge array.  A missing
+   edge means the result belongs to a different view tree — report that
+   as such instead of escaping with an unlabelled [Not_found]. *)
+let edge_index_of ~caller tree =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri (fun i e -> Hashtbl.replace tbl e i) tree.View_tree.edges;
+  fun ((u, v) as e) ->
+    match Hashtbl.find_opt tbl e with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Planner.%s: edge %d-%d is not an edge of this view tree (was \
+              the plan generated for a different view?)"
+             caller u v)
+
 (* The plan family a genPlan result describes: the mandatory edges plus
    each subset of the optional edges (paper Sec. 5.1: "Each subset of the
    four optional edges defines a plan"). *)
 let plans_of tree (r : result) : Partition.t list =
-  let edge_index =
-    let tbl = Hashtbl.create 16 in
-    Array.iteri (fun i e -> Hashtbl.replace tbl e i) tree.View_tree.edges;
-    fun e -> Hashtbl.find tbl e
-  in
+  let edge_index = edge_index_of ~caller:"plans_of" tree in
   let base = Array.make (View_tree.edge_count tree) false in
   List.iter (fun e -> base.(edge_index e) <- true) r.mandatory;
   let opt = Array.of_list r.optional in
@@ -192,11 +209,7 @@ let plans_of tree (r : result) : Partition.t list =
 (* The single "best" plan: mandatory plus all optional edges. *)
 let best_plan tree (r : result) : Partition.t =
   let keep = Array.make (View_tree.edge_count tree) false in
-  let edge_index =
-    let tbl = Hashtbl.create 16 in
-    Array.iteri (fun i e -> Hashtbl.replace tbl e i) tree.View_tree.edges;
-    fun e -> Hashtbl.find tbl e
-  in
+  let edge_index = edge_index_of ~caller:"best_plan" tree in
   List.iter (fun e -> keep.(edge_index e) <- true) (r.mandatory @ r.optional);
   Partition.of_keep tree keep
 

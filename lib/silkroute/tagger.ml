@@ -253,11 +253,26 @@ type ctx = {
   mutable depth : int; (* open elements = stack.(0 .. depth-1) *)
 }
 
+(* Last component of a node's Skolem-function index — O(|sfi|) single
+   pass, with a descriptive error instead of [List.nth]'s anonymous
+   [Failure "nth"] on an empty index. *)
+let last_sfi_component (n : View_tree.node) =
+  let rec last = function
+    | [ x ] -> x
+    | _ :: rest -> last rest
+    | [] ->
+        invalid_arg
+          (Printf.sprintf
+             "Tagger: node %d (<%s>) has an empty Skolem-function index"
+             n.View_tree.id n.View_tree.tag)
+  in
+  last n.View_tree.sfi
+
 let make_ctx tree sink =
   let child_by_component = Hashtbl.create 32 in
   Array.iter
     (fun (n : View_tree.node) ->
-      let comp = List.nth n.View_tree.sfi (List.length n.View_tree.sfi - 1) in
+      let comp = last_sfi_component n in
       let parent = match n.View_tree.parent with Some p -> p | None -> -1 in
       Hashtbl.replace child_by_component (parent, comp) n.View_tree.id)
     tree.View_tree.nodes;

@@ -43,6 +43,7 @@ let () =
       ("resilience", Test_resilience.suite);
       ("parallel", Test_parallel.suite);
       ("differential", Test_differential.suite);
+      ("server", Test_server.suite);
       ("obs", Test_obs.suite);
       ("profile", Test_profile.suite);
       ("event+diagnose", Test_event.suite);

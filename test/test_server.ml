@@ -1,0 +1,544 @@
+(* The query server: cache tiers, admission control, protocol framing,
+   the workload driver, and the latent-bug regressions that rode along
+   with this layer (tagger empty-SFI error, planner missing-edge error,
+   monotonic clock watermark). *)
+
+open Server
+module R = Relational
+module S = Silkroute
+
+(* One small database for the whole suite — server tests need real
+   executions, not big ones. *)
+let db = lazy (Tpch.Gen.generate (Tpch.Gen.config 0.05))
+
+let with_server ?config f =
+  let t = Service.create ?config (Lazy.force db) in
+  Fun.protect ~finally:(fun () -> Service.shutdown t) (fun () -> f t)
+
+let xml_of = function
+  | Protocol.Result { xml; _ } -> xml
+  | r -> Alcotest.failf "expected a result, got %s" (Protocol.reply_name r)
+
+let tiers_of = function
+  | Protocol.Result { tiers; _ } -> tiers
+  | r -> Alcotest.failf "expected a result, got %s" (Protocol.reply_name r)
+
+(* --- LRU ---------------------------------------------------------------- *)
+
+let test_lru_hit_miss_eviction () =
+  let c = Lru.create ~name:"t" ~capacity:3 () in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "c" 3;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Lru.find c "a");
+  (* a is now MRU; adding d evicts b (the LRU) *)
+  Lru.add c "d" 4;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Lru.find c "a");
+  Alcotest.(check (list string)) "MRU order" [ "a"; "d"; "c" ] (Lru.keys_mru c);
+  let s = Lru.stats c in
+  Alcotest.(check int) "hits" 2 s.Lru.hits;
+  Alcotest.(check int) "misses" 1 s.Lru.misses;
+  Alcotest.(check int) "evictions" 1 s.Lru.evictions;
+  Alcotest.(check int) "entries" 3 s.Lru.entries
+
+let test_lru_weights () =
+  let c = Lru.create ~name:"t" ~capacity:100 () in
+  Lru.add ~weight:60 c "a" "a";
+  Lru.add ~weight:30 c "b" "b";
+  (* 60 + 30 + 40 > 100: a (LRU) must go *)
+  Lru.add ~weight:40 c "c" "c";
+  Alcotest.(check (option string)) "a evicted" None (Lru.find c "a");
+  Alcotest.(check int) "weight" 70 (Lru.total_weight c);
+  (* an entry heavier than the whole budget is not admitted and does
+     not disturb the cache *)
+  Lru.add ~weight:101 c "huge" "huge";
+  Alcotest.(check (option string)) "huge dropped" None (Lru.find c "huge");
+  Alcotest.(check int) "cache untouched" 2 (Lru.length c);
+  (* replacing an entry updates the weight account *)
+  Lru.add ~weight:10 c "b" "b2";
+  Alcotest.(check int) "replace adjusts weight" 50 (Lru.total_weight c)
+
+let test_lru_clear_and_disabled () =
+  let c = Lru.create ~name:"t" ~capacity:2 () in
+  Lru.add c "a" 1;
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c);
+  Alcotest.(check int) "flush counted" 1 (Lru.stats c).Lru.flushes;
+  let off = Lru.create ~name:"off" ~capacity:0 () in
+  Lru.add off "a" 1;
+  Alcotest.(check (option int)) "disabled never stores" None (Lru.find off "a")
+
+let test_lru_peek_counts_nothing () =
+  let c = Lru.create ~name:"t" ~capacity:2 () in
+  Lru.add c "a" 1;
+  Alcotest.(check (option int)) "peek hit" (Some 1) (Lru.peek c "a");
+  Alcotest.(check (option int)) "peek miss" None (Lru.peek c "b");
+  let s = Lru.stats c in
+  Alcotest.(check int) "no hits" 0 s.Lru.hits;
+  Alcotest.(check int) "no misses" 0 s.Lru.misses
+
+(* --- admission decision ------------------------------------------------- *)
+
+let admission =
+  Alcotest.testable
+    (fun ppf -> function
+      | Service.Admit -> Format.fprintf ppf "Admit"
+      | Service.Queue -> Format.fprintf ppf "Queue"
+      | Service.Reject r -> Format.fprintf ppf "Reject %s" r)
+    (fun a b ->
+      match (a, b) with
+      | Service.Admit, Service.Admit | Service.Queue, Service.Queue -> true
+      | Service.Reject _, Service.Reject _ -> true
+      | _ -> false)
+
+let test_admission_decision () =
+  let c = { Service.default_config with Service.admission_budget = 100; max_queue = 2 } in
+  let check name want ~est ~inflight ~waiting =
+    Alcotest.check admission name want
+      (Service.admission_decision c ~est_cost:est ~in_flight:inflight
+         ~waiting)
+  in
+  check "fits" Service.Admit ~est:40.0 ~inflight:50.0 ~waiting:0;
+  check "exact fit" Service.Admit ~est:50.0 ~inflight:50.0 ~waiting:0;
+  check "queue while occupied" Service.Queue ~est:60.0 ~inflight:50.0 ~waiting:0;
+  check "oversized rejected" (Service.Reject "") ~est:101.0 ~inflight:0.0
+    ~waiting:0;
+  check "full queue rejected" (Service.Reject "") ~est:60.0 ~inflight:50.0
+    ~waiting:2;
+  let unlimited = { c with Service.admission_budget = 0 } in
+  Alcotest.check admission "unlimited admits anything" Service.Admit
+    (Service.admission_decision unlimited ~est_cost:1e12 ~in_flight:1e12
+       ~waiting:1000)
+
+let test_admission_oversized_end_to_end () =
+  let config =
+    { Service.default_config with Service.admission_budget = 1; max_queue = 0 }
+  in
+  with_server ~config (fun t ->
+      match
+        Service.query t ~view:S.Queries.fragment_text ~strategy:"unified"
+          ~reduce:false
+      with
+      | Protocol.Rejected reason ->
+          Alcotest.(check bool) "reason names the budget" true
+            (String.length reason > 0)
+      | r -> Alcotest.failf "expected rejection, got %s" (Protocol.reply_name r));
+  (* the same query with no budget succeeds *)
+  with_server (fun t ->
+      match
+        Service.query t ~view:S.Queries.fragment_text ~strategy:"unified"
+          ~reduce:false
+      with
+      | Protocol.Result _ -> ()
+      | r -> Alcotest.failf "expected a result, got %s" (Protocol.reply_name r))
+
+(* --- protocol ----------------------------------------------------------- *)
+
+let roundtrip write read v =
+  let path = Filename.temp_file "silkroute_proto" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      write oc v;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match read ic with
+          | Some v' -> v'
+          | None -> Alcotest.fail "unexpected EOF"))
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      Protocol.Query { view = "view <a/>"; strategy = "edges:3"; reduce = true };
+      Protocol.Query { view = String.make 10_000 'x'; strategy = "greedy"; reduce = false };
+      Protocol.Invalidate { table = "Supplier"; factor = 4.5 };
+      Protocol.Invalidate { table = ""; factor = 1.0 };
+      Protocol.Stats;
+      Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Protocol.request_name r) true
+        (roundtrip Protocol.write_request Protocol.read_request r = r))
+    reqs;
+  let replies =
+    [
+      Protocol.Result
+        {
+          xml = "<doc>\xc3\xa9 &amp; bytes</doc>";
+          tiers =
+            { Protocol.statement_hit = true; plan_hit = false; result_hit = true };
+          work = 12345;
+          est_cost = 678.25;
+        };
+      Protocol.Info "stats";
+      Protocol.Rejected "too big";
+      Protocol.Failed "boom";
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Protocol.reply_name r) true
+        (roundtrip Protocol.write_reply Protocol.read_reply r = r))
+    replies
+
+let test_protocol_malformed () =
+  let read_garbage bytes =
+    let path = Filename.temp_file "silkroute_proto" ".bin" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out_bin path in
+        output_string oc bytes;
+        close_out oc;
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Protocol.read_request ic))
+  in
+  Alcotest.(check bool) "clean EOF is None" true (read_garbage "" = None);
+  Alcotest.check_raises "absurd field count"
+    (Protocol.Protocol_error "bad frame field count 1094795585") (fun () ->
+      ignore (read_garbage "AAAAAAAA"));
+  (* count says 2 fields but the stream ends after the first *)
+  let truncated =
+    let b = Buffer.create 16 in
+    Buffer.add_string b "\x00\x00\x00\x02";
+    Buffer.add_string b "\x00\x00\x00\x01Q";
+    Buffer.contents b
+  in
+  Alcotest.check_raises "truncated frame"
+    (Protocol.Protocol_error "truncated frame (missing field length)")
+    (fun () -> ignore (read_garbage truncated))
+
+(* --- cache tiers through the server ------------------------------------- *)
+
+let test_tier_progression () =
+  with_server (fun t ->
+      let q () =
+        Service.query t ~view:S.Queries.fragment_text ~strategy:"unified"
+          ~reduce:false
+      in
+      let first = tiers_of (q ()) in
+      Alcotest.(check bool) "cold: no tier hits" false
+        (first.Protocol.statement_hit || first.Protocol.plan_hit
+        || first.Protocol.result_hit);
+      let second = tiers_of (q ()) in
+      Alcotest.(check bool) "warm: every tier hits" true
+        (second.Protocol.statement_hit && second.Protocol.plan_hit
+        && second.Protocol.result_hit);
+      (* same view, different strategy: statement hits, plan misses *)
+      let third =
+        tiers_of
+          (Service.query t ~view:S.Queries.fragment_text
+             ~strategy:"partitioned" ~reduce:false)
+      in
+      Alcotest.(check bool) "statement survives strategy change" true
+        third.Protocol.statement_hit;
+      Alcotest.(check bool) "plan is per-strategy" false third.Protocol.plan_hit)
+
+let test_byte_identity_all_plans () =
+  (* every point of the fragment view's 2^|E| lattice, cached and
+     uncached, against the direct pipeline *)
+  let db = Lazy.force db in
+  let p = S.Middleware.prepare_text db S.Queries.fragment_text in
+  let reference =
+    let e =
+      S.Middleware.execute p (S.Middleware.partition_of p S.Middleware.Unified)
+    in
+    S.Middleware.xml_string_of p e
+  in
+  let masks = S.Partition.all_masks p.S.Middleware.tree in
+  Alcotest.(check bool) "whole lattice" true (List.length masks >= 4);
+  with_server (fun t ->
+      List.iter
+        (fun mask ->
+          let strategy = "edges:" ^ string_of_int mask in
+          let q () =
+            xml_of (Service.query t ~view:S.Queries.fragment_text ~strategy ~reduce:false)
+          in
+          let uncached = q () in
+          let cached = q () in
+          Alcotest.(check string)
+            (Printf.sprintf "mask %d uncached" mask)
+            reference uncached;
+          Alcotest.(check string)
+            (Printf.sprintf "mask %d cached" mask)
+            reference cached)
+        masks;
+      (* the named strategies resolve into the same lattice *)
+      List.iter
+        (fun strategy ->
+          List.iter
+            (fun reduce ->
+              Alcotest.(check string)
+                (strategy ^ if reduce then "+reduce" else "")
+                reference
+                (xml_of
+                   (Service.query t ~view:S.Queries.fragment_text ~strategy
+                      ~reduce)))
+            [ false; true ])
+        [ "unified"; "partitioned"; "greedy" ])
+
+let test_epoch_invalidation () =
+  with_server (fun t ->
+      let q () =
+        Service.query t ~view:S.Queries.fragment_text ~strategy:"greedy"
+          ~reduce:false
+      in
+      let before = xml_of (q ()) in
+      Alcotest.(check bool) "warm before invalidation" true
+        (tiers_of (q ())).Protocol.result_hit;
+      Alcotest.(check int) "epoch 0" 0 (Service.stats_epoch t);
+      Service.invalidate ~skew:("Supplier", 8.0) t;
+      Alcotest.(check int) "epoch bumped" 1 (Service.stats_epoch t);
+      let _, plans, results = Service.tier_stats t in
+      Alcotest.(check int) "plan tier flushed" 0 plans.Lru.entries;
+      Alcotest.(check int) "result tier flushed" 0 results.Lru.entries;
+      let after = q () in
+      Alcotest.(check bool) "stale entry not served" false
+        (tiers_of after).Protocol.result_hit;
+      (* the catalog changed but the data did not: bytes still match *)
+      Alcotest.(check string) "output unchanged" before (xml_of after);
+      (* statement tier does not depend on statistics *)
+      let stmts, _, _ = Service.tier_stats t in
+      Alcotest.(check bool) "statement tier survives" true
+        (stmts.Lru.entries > 0))
+
+let test_bad_inputs_fail_cleanly () =
+  with_server (fun t ->
+      (match Service.query t ~view:"not rxl at all" ~strategy:"unified" ~reduce:false with
+      | Protocol.Failed _ -> ()
+      | r -> Alcotest.failf "expected failure, got %s" (Protocol.reply_name r));
+      (match Service.query t ~view:S.Queries.fragment_text ~strategy:"nope" ~reduce:false with
+      | Protocol.Failed msg ->
+          Alcotest.(check bool) "names the strategy" true
+            (String.length msg > 0)
+      | r -> Alcotest.failf "expected failure, got %s" (Protocol.reply_name r));
+      (* a failed query must not poison the server *)
+      match Service.query t ~view:S.Queries.fragment_text ~strategy:"unified" ~reduce:false with
+      | Protocol.Result _ -> ()
+      | r -> Alcotest.failf "server poisoned: %s" (Protocol.reply_name r))
+
+let test_shutdown_idempotent () =
+  let t = Service.create (Lazy.force db) in
+  Service.shutdown t;
+  Service.shutdown t;
+  match
+    Service.query t ~view:S.Queries.fragment_text ~strategy:"unified"
+      ~reduce:false
+  with
+  | Protocol.Failed _ -> ()
+  | r -> Alcotest.failf "expected failure after shutdown, got %s"
+           (Protocol.reply_name r)
+
+(* --- workload driver ----------------------------------------------------- *)
+
+let small_mix =
+  {
+    Workload.default_config with
+    Workload.clients = 2;
+    requests_per_client = 6;
+    invalidate_every = 4;
+  }
+
+let test_workload_script_deterministic () =
+  let views = Workload.standard_views ~verify:false (Lazy.force db) in
+  let a = Workload.script ~views small_mix in
+  let b = Workload.script ~views small_mix in
+  Alcotest.(check bool) "same script" true (a = b);
+  let c =
+    Workload.script ~views { small_mix with Workload.seed = small_mix.Workload.seed + 1 }
+  in
+  Alcotest.(check bool) "seed changes the script" true (a <> c);
+  (* client 0 request 4 is the scripted invalidation *)
+  (match a.(0).(4) with
+  | Protocol.Invalidate _ -> ()
+  | _ -> Alcotest.fail "expected a scripted invalidation");
+  Alcotest.(check int) "clients" 2 (Array.length a);
+  Alcotest.(check int) "requests" 6 (Array.length a.(0))
+
+let test_workload_direct_identity_and_warmth () =
+  let views = Workload.standard_views (Lazy.force db) in
+  with_server (fun t ->
+      let first = Workload.run_direct t ~views small_mix in
+      Alcotest.(check (list string)) "no mismatches" [] first.Workload.mismatches;
+      Alcotest.(check int) "no failures" 0 first.Workload.failed;
+      Alcotest.(check bool) "queries ran" true (first.Workload.results > 0);
+      Alcotest.(check int) "scripted invalidation arrived" 1
+        first.Workload.infos);
+  (* warmth needs a mix without scripted invalidations: pass 2 then
+     replays entirely from the result tier *)
+  let mix = { small_mix with Workload.invalidate_every = 0 } in
+  with_server (fun t ->
+      let cold = Workload.run_direct t ~views mix in
+      let warm = Workload.run_direct t ~views mix in
+      Alcotest.(check (list string)) "cold identical" [] cold.Workload.mismatches;
+      Alcotest.(check (list string)) "warm identical" [] warm.Workload.mismatches;
+      Alcotest.(check bool) "cold executed work" true (cold.Workload.work > 0);
+      Alcotest.(check int) "warm replays from the result tier"
+        warm.Workload.results warm.Workload.result_hits;
+      Alcotest.(check bool) "warm executes strictly less" true
+        (warm.Workload.work < cold.Workload.work))
+
+let test_workload_threaded_identity () =
+  let views = Workload.standard_views (Lazy.force db) in
+  let config = { Service.default_config with Service.domains = 2 } in
+  with_server ~config (fun t ->
+      let tally = Workload.run_direct ~threads:true t ~views small_mix in
+      Alcotest.(check (list string)) "identical under threads" []
+        tally.Workload.mismatches;
+      Alcotest.(check int) "no failures" 0 tally.Workload.failed)
+
+let test_workload_socket_roundtrip () =
+  let views = Workload.standard_views (Lazy.force db) in
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "silkroute_test_%d.sock" (Unix.getpid ()))
+  in
+  let t = Service.create (Lazy.force db) in
+  let server_thread =
+    Thread.create (fun () -> Service.serve_unix t ~socket) ()
+  in
+  let rec wait_for_socket n =
+    if n = 0 then Alcotest.fail "server socket never appeared";
+    if not (Sys.file_exists socket) then begin
+      Thread.delay 0.05;
+      wait_for_socket (n - 1)
+    end
+  in
+  wait_for_socket 100;
+  let tally = Workload.run_socket ~socket ~views small_mix in
+  (match Workload.request ~socket Protocol.Stats with
+  | Some (Protocol.Info report) ->
+      Alcotest.(check bool) "stats report mentions the tiers" true
+        (String.length report > 0)
+  | _ -> Alcotest.fail "no stats reply");
+  (match Workload.request ~socket Protocol.Shutdown with
+  | Some (Protocol.Info _) -> ()
+  | _ -> Alcotest.fail "no shutdown acknowledgement");
+  Thread.join server_thread;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists socket);
+  Alcotest.(check (list string)) "identical over the wire" []
+    tally.Workload.mismatches;
+  Alcotest.(check int) "no failures" 0 tally.Workload.failed;
+  Alcotest.(check bool) "queries answered" true (tally.Workload.results > 0)
+
+(* --- latent-bug regressions ---------------------------------------------- *)
+
+let contains msg needle =
+  let n = String.length needle and m = String.length msg in
+  let rec search i = i + n <= m && (String.sub msg i n = needle || search (i + 1)) in
+  search 0
+
+let test_tagger_empty_sfi_error () =
+  let db = Lazy.force db in
+  let p = S.Middleware.prepare_text db S.Queries.fragment_text in
+  let tree = p.S.Middleware.tree in
+  let broken =
+    {
+      tree with
+      S.View_tree.nodes =
+        Array.map
+          (fun (n : S.View_tree.node) ->
+            if n.S.View_tree.id = 1 then { n with S.View_tree.sfi = [] } else n)
+          tree.S.View_tree.nodes;
+    }
+  in
+  let sink, _ = S.Tagger.document_sink () in
+  match S.Tagger.tag broken [] sink with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        ("descriptive message: " ^ msg)
+        true
+        (contains msg "empty Skolem-function index" && contains msg "node 1")
+
+let test_planner_missing_edge_error () =
+  let db = Lazy.force db in
+  let p = S.Middleware.prepare_text db S.Queries.fragment_text in
+  let bogus =
+    { S.Planner.mandatory = [ (97, 98) ]; optional = []; requests = 0; cache_hits = 0 }
+  in
+  (match S.Planner.plans_of p.S.Middleware.tree bogus with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) ("plans_of names the edge: " ^ msg) true
+        (contains msg "97-98" && contains msg "not an edge"));
+  match S.Planner.best_plan p.S.Middleware.tree bogus with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) ("best_plan names the edge: " ^ msg) true
+        (contains msg "97-98" && contains msg "not an edge")
+
+let test_clock_monotonic_watermark () =
+  (* a backwards-stepping source must never make now_ns decrease *)
+  let steps = ref [ 100L; 50L; 150L; 149L; 200L ] in
+  Obs.Clock.set_source (fun () ->
+      match !steps with
+      | [] -> 300L
+      | t :: rest ->
+          steps := rest;
+          t);
+  Fun.protect ~finally:Obs.Clock.use_default (fun () ->
+      let observed = List.init 5 (fun _ -> Obs.Clock.now_ns ()) in
+      Alcotest.(check (list int64)) "clamped to the watermark"
+        [ 100L; 100L; 150L; 150L; 200L ] observed);
+  (* the default source is the monotonic clock: strictly non-decreasing *)
+  let a = Obs.Clock.now_ns () in
+  let b = Obs.Clock.now_ns () in
+  Alcotest.(check bool) "monotonic default" true (Int64.compare a b <= 0)
+
+let test_clock_set_source_resets_watermark () =
+  Obs.Clock.set_source (fun () -> 1_000_000L);
+  Fun.protect ~finally:Obs.Clock.use_default (fun () ->
+      Alcotest.(check int64) "high fake time" 1_000_000L (Obs.Clock.now_ns ()));
+  (* after restoring the default, a fresh watermark must not pin time to
+     the fake source's high-water mark *)
+  Obs.Clock.set_source (fun () -> 5L);
+  Fun.protect ~finally:Obs.Clock.use_default (fun () ->
+      Alcotest.(check int64) "watermark reset on set_source" 5L
+        (Obs.Clock.now_ns ()))
+
+let suite =
+  [
+    Alcotest.test_case "lru: hit/miss/eviction" `Quick test_lru_hit_miss_eviction;
+    Alcotest.test_case "lru: weights" `Quick test_lru_weights;
+    Alcotest.test_case "lru: clear + disabled" `Quick test_lru_clear_and_disabled;
+    Alcotest.test_case "lru: peek" `Quick test_lru_peek_counts_nothing;
+    Alcotest.test_case "admission: decision table" `Quick test_admission_decision;
+    Alcotest.test_case "admission: oversized rejected" `Quick
+      test_admission_oversized_end_to_end;
+    Alcotest.test_case "protocol: roundtrip" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "protocol: malformed frames" `Quick test_protocol_malformed;
+    Alcotest.test_case "tiers: cold then warm" `Quick test_tier_progression;
+    Alcotest.test_case "byte identity: whole lattice, cached + uncached" `Quick
+      test_byte_identity_all_plans;
+    Alcotest.test_case "invalidation: stats epoch" `Quick test_epoch_invalidation;
+    Alcotest.test_case "bad inputs fail cleanly" `Quick test_bad_inputs_fail_cleanly;
+    Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "workload: deterministic script" `Quick
+      test_workload_script_deterministic;
+    Alcotest.test_case "workload: identity + warmth" `Quick
+      test_workload_direct_identity_and_warmth;
+    Alcotest.test_case "workload: threaded clients" `Quick
+      test_workload_threaded_identity;
+    Alcotest.test_case "workload: socket roundtrip" `Quick
+      test_workload_socket_roundtrip;
+    Alcotest.test_case "regression: tagger empty SFI" `Quick
+      test_tagger_empty_sfi_error;
+    Alcotest.test_case "regression: planner missing edge" `Quick
+      test_planner_missing_edge_error;
+    Alcotest.test_case "regression: clock watermark" `Quick
+      test_clock_monotonic_watermark;
+    Alcotest.test_case "regression: clock source reset" `Quick
+      test_clock_set_source_resets_watermark;
+  ]

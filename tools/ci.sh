@@ -27,6 +27,9 @@ sh tools/parallel_smoke.sh _build/default/bin/silkroute_cli.exe \
 echo "== fault smoke (byte-identical output under injected faults)"
 dune exec tools/fault_smoke.exe
 
+echo "== serve smoke (query server: wire-level byte-identity + warm-cache hits)"
+sh tools/serve_smoke.sh _build/default/bin/silkroute_cli.exe
+
 echo "== explain smoke (logical + physical trees on q1/q2)"
 sh tools/explain_smoke.sh
 
@@ -45,6 +48,18 @@ if echo "$scaling_out" | grep -q 'NO!'; then
 fi
 if ! echo "$scaling_out" | grep -q ' yes$'; then
   echo "scaling: no parity rows found"
+  exit 1
+fi
+
+echo "== serving experiment (cache on/off qps + percentiles, warm strictly faster)"
+serving_out=$(dune exec bench/main.exe -- --experiment serving)
+echo "$serving_out"
+if echo "$serving_out" | grep -q 'NO!'; then
+  echo "serving: invariant violation (see NO! rows above)"
+  exit 1
+fi
+if ! echo "$serving_out" | grep -q ' yes$'; then
+  echo "serving: no invariant rows found"
   exit 1
 fi
 
