@@ -136,13 +136,97 @@ let t_span_disabled =
                Obs.Span.with_span "bench.span" (fun () -> ())
              done)))
 
+(* Compiled vs interpreted expressions: the same moderately deep
+   predicate over 4096 rows, paid as the operators pay it — the
+   interpreted side re-walks the tree per row, the compiled side builds
+   the closure once per 4096-row block (the once-per-operator pattern)
+   and then pays only closure calls. *)
+let expr_rows : R.Tuple.t array =
+  let state = ref 42 in
+  let next () =
+    state := ((1103515245 * !state) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  Array.init 4096 (fun _ ->
+      [|
+        R.Value.Int (next () mod 1000);
+        R.Value.Int (next () mod 1000);
+        (if next () mod 7 = 0 then R.Value.Null
+         else R.Value.String (string_of_int (next () mod 97)));
+      |])
+
+let expr_bench : R.Expr.resolved =
+  R.Expr.(
+    R_and
+      ( R_cmp (Lt, R_col 0, R_col 1),
+        R_or
+          ( R_cmp (Le, R_arith (Add, R_col 1, R_lit (R.Value.Int 3)),
+                   R_lit (R.Value.Int 500)),
+            R_is_null (R_col 2) ) ))
+
+let t_expr_interpreted =
+  Test.make ~name:"expr:interpreted"
+    (Staged.stage (fun () ->
+         let acc = ref 0 in
+         Array.iter
+           (fun t -> if R.Expr.eval_pred expr_bench t then incr acc)
+           expr_rows;
+         ignore !acc))
+
+let t_expr_compiled =
+  Test.make ~name:"expr:compiled"
+    (Staged.stage (fun () ->
+         let p = R.Expr.compile_pred expr_bench in
+         let acc = ref 0 in
+         Array.iter (fun t -> if p t then incr acc) expr_rows;
+         ignore !acc))
+
+(* Batched vs tuple execution, one pair per physical operator shape.
+   Each pair runs the identical plan (output and work accounting are
+   asserted equal by test/test_batch.ml and bench --experiment batching);
+   only the interpretation strategy differs. *)
+let op_plans =
+  lazy
+    (let db = Lazy.force db in
+     List.map
+       (fun (name, sql) -> (name, R.Physical.plan_of db (R.Sql_parser.parse sql)))
+       [
+         ("scan", "SELECT suppkey, name, nationkey FROM Supplier");
+         ( "filter",
+           "SELECT suppkey FROM Supplier WHERE suppkey < 5000 AND nationkey > 2"
+         );
+         ( "join",
+           "SELECT Supplier.suppkey, Nation.name FROM Supplier, Nation WHERE \
+            Supplier.nationkey = Nation.nationkey" );
+         ( "sort",
+           "SELECT suppkey, name FROM Supplier ORDER BY name DESC, suppkey" );
+       ])
+
+let exec_op_tests =
+  lazy
+    (let db = Lazy.force db in
+     List.concat_map
+       (fun (name, plan) ->
+         [
+           Test.make ~name:(Printf.sprintf "exec:%s:tuple" name)
+             (Staged.stage (fun () -> ignore (R.Executor.run_plan db plan)));
+           Test.make ~name:(Printf.sprintf "exec:%s:batched" name)
+             (Staged.stage (fun () ->
+                  ignore
+                    (R.Executor.run_plan
+                       ~batch_size:R.Executor.default_batch_size db plan)));
+         ])
+       (Lazy.force op_plans))
+
 let all_tests =
-  Test.make_grouped ~name:"silkroute" ~fmt:"%s/%s"
-    [
-      t_table1; t_sec2; t_fig13; t_fig13_stream; t_fig14; t_fig15; t_fig18;
-      t_bucket_binary; t_bucket_linear; t_event_emit; t_event_disabled;
-      t_gc_quickstat; t_span_disabled;
-    ]
+  lazy
+    (Test.make_grouped ~name:"silkroute" ~fmt:"%s/%s"
+       ([
+          t_table1; t_sec2; t_fig13; t_fig13_stream; t_fig14; t_fig15; t_fig18;
+          t_bucket_binary; t_bucket_linear; t_event_emit; t_event_disabled;
+          t_gc_quickstat; t_span_disabled; t_expr_interpreted; t_expr_compiled;
+        ]
+       @ Lazy.force exec_op_tests))
 
 let run () =
   Printf.printf "\nBechamel micro-benchmarks (one per reproduced artifact)\n";
@@ -154,7 +238,7 @@ let run () =
   let cfg =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
-  let raw = Benchmark.all cfg instances all_tests in
+  let raw = Benchmark.all cfg instances (Lazy.force all_tests) in
   let results =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in

@@ -47,6 +47,10 @@ let of_list cols rows =
 
 let of_relation r = of_list (Relation.cols r) (Relation.rows r)
 
+(* Draining combinators close the cursor when the consumer raises:
+   timeouts and injected faults escape through [iter]/[fold]/[spool]
+   mid-drain, and without this the abandoned source kept its spool file
+   and open channel until process exit. *)
 let iter f c =
   let rec go () =
     match c.pull () with
@@ -55,7 +59,11 @@ let iter f c =
         f t;
         go ()
   in
-  go ()
+  try go ()
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    close c;
+    Printexc.raise_with_backtrace e bt
 
 let fold f acc c =
   let acc = ref acc in
@@ -128,3 +136,40 @@ let spool ?(on_row = fun (_ : Tuple.t) -> ()) (c : t) : t =
   let spooled = create c.cols pull in
   spooled.cleanup <- release;
   spooled
+
+(* --- Batch protocol ------------------------------------------------- *)
+
+let next_batch ?size c =
+  match c.pull () with
+  | None -> None
+  | Some first ->
+      let b = Batch.create ?size () in
+      Batch.push b first;
+      let rec fill () =
+        if not (Batch.is_full b) then
+          match c.pull () with
+          | None -> ()
+          | Some t ->
+              Batch.push b t;
+              fill ()
+      in
+      fill ();
+      Some b
+
+let of_batches cols batches =
+  let rest = ref batches in
+  let cur = ref None in
+  let rec pull () =
+    match !cur with
+    | Some (b, i) when i < Batch.length b ->
+        cur := Some (b, i + 1);
+        Some (Batch.get b i)
+    | _ -> (
+        match !rest with
+        | [] -> None
+        | b :: tl ->
+            rest := tl;
+            cur := Some (b, 0);
+            pull ())
+  in
+  create cols pull

@@ -33,6 +33,12 @@ val of_relation : Relation.t -> t
 (** Cursor over a materialized relation's rows, in order. *)
 
 val iter : (Tuple.t -> unit) -> t -> unit
+(** Drains the cursor.  If the callback raises, the cursor is {!close}d
+    before the exception propagates, so backing resources (spool files,
+    open channels) are not leaked by a throwing consumer.  The same
+    holds for {!fold}, {!to_list} and {!spool}, which drain through
+    [iter]. *)
+
 val fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
 val to_list : t -> Tuple.t list
 val to_relation : t -> Relation.t
@@ -46,3 +52,17 @@ val spool : ?on_row:(Tuple.t -> unit) -> t -> t
     cardinality, modeling a server-side result set streamed over the
     wire.  The spool file is deleted when the last tuple is read, or by
     {!close} on a cursor abandoned before exhaustion. *)
+
+(** {1 Batch protocol}
+
+    Adapters between the tuple-at-a-time pull interface and the
+    vectorized execution path's {!Batch.t} chunks. *)
+
+val next_batch : ?size:int -> t -> Batch.t option
+(** Pull up to [size] (default {!Batch.default_size}) tuples into a
+    fresh batch; [None] at end of stream.  Works on any cursor,
+    spool-backed included. *)
+
+val of_batches : string array -> Batch.t list -> t
+(** Cursor over the live rows of [batches], batch by batch, respecting
+    selection vectors. *)

@@ -417,10 +417,14 @@ and eval_select ctx (s : Sql.select) : rel =
   let out_header =
     Array.of_list (List.map (fun (a, _) -> ("", a)) items)
   in
+  (* Compile the projection once: an array of per-column closures, so the
+     per-row cost is one closure call per column instead of a list map
+     plus an interpreter walk. *)
+  let fns = Array.of_list (List.map (fun (_, r) -> Expr.compile r) items) in
   let tuples =
     List.map
       (fun row ->
-        let t = Array.of_list (List.map (fun (_, r) -> Expr.eval r row) items) in
+        let t = Array.map (fun f -> f row) fns in
         charge_emit_row ctx t;
         t)
       input.tuples
@@ -463,16 +467,23 @@ and eval_sorted ctx (q : Sql.query) : string array * Tuple.t list =
               (r, d))
             keys
         in
-        let cmp a b =
-          let rec go = function
-            | [] -> 0
-            | (r, d) :: rest ->
-                let va = Expr.eval r a and vb = Expr.eval r b in
-                let c = Value.compare_total va vb in
-                let c = if d = Sql.Desc then -c else c in
-                if c <> 0 then c else go rest
+        (* Evaluate each sort key once per row (decorate–sort–undecorate)
+           instead of re-interpreting the key expressions inside the
+           comparator at every comparison. *)
+        let key_fns =
+          Array.of_list (List.map (fun (r, _) -> Expr.compile r) resolved)
+        in
+        let dirs = Array.of_list (List.map snd resolved) in
+        let nkeys = Array.length key_fns in
+        let cmp (ka, _) (kb, _) =
+          let rec go i =
+            if i >= nkeys then 0
+            else
+              let c = Value.compare_total ka.(i) kb.(i) in
+              let c = if dirs.(i) = Sql.Desc then -c else c in
+              if c <> 0 then c else go (i + 1)
           in
-          go resolved
+          go 0
         in
         let bytes =
           List.fold_left (fun acc t -> acc + Tuple.wire_size t) 0 result.tuples
@@ -500,7 +511,12 @@ and eval_sorted ctx (q : Sql.query) : string array * Tuple.t list =
                 ]
           end
         end;
-        List.stable_sort cmp result.tuples)
+        let decorated =
+          List.map
+            (fun t -> (Array.map (fun f -> f t) key_fns, t))
+            result.tuples
+        in
+        List.map snd (List.stable_sort cmp decorated))
   in
   (cols, tuples)
 
@@ -565,10 +581,11 @@ let rec exec_pairs ctx (n : P.node) : (int * Tuple.t) list =
         let rows = exec_pairs ctx input in
         let w0 = ctx.st.work in
         let full = Array.for_all (fun c -> c) charged in
+        let fns = Array.map Expr.compile items in
         let out =
           List.map
             (fun (_, row) ->
-              let t = Array.map (fun e -> Expr.eval e row) items in
+              let t = Array.map (fun f -> f row) fns in
               let bytes =
                 if full then Tuple.wire_size t else masked_size charged t
               in
@@ -686,15 +703,22 @@ and exec_join ctx (n : P.node) (info : P.join_info) left right :
 and exec_sort ctx (n : P.node) keys (pairs : (int * Tuple.t) list) :
     (int * Tuple.t) list =
   Obs.Span.with_span "exec.sort" (fun () ->
-      let cmp (_, a) (_, b) =
-        let rec go = function
-          | [] -> 0
-          | (r, d) :: rest ->
-              let c = Value.compare_total (Expr.eval r a) (Expr.eval r b) in
-              let c = if d = Sql.Desc then -c else c in
-              if c <> 0 then c else go rest
+      (* Sort keys are compiled once and evaluated once per row; the
+         comparator only compares the precomputed key arrays. *)
+      let key_fns =
+        Array.of_list (List.map (fun (r, _) -> Expr.compile r) keys)
+      in
+      let dirs = Array.of_list (List.map snd keys) in
+      let nkeys = Array.length key_fns in
+      let cmp (ka, _) (kb, _) =
+        let rec go i =
+          if i >= nkeys then 0
+          else
+            let c = Value.compare_total ka.(i) kb.(i) in
+            let c = if dirs.(i) = Sql.Desc then -c else c in
+            if c <> 0 then c else go (i + 1)
         in
-        go keys
+        go 0
       in
       let bytes = List.fold_left (fun acc (b, _) -> acc + b) 0 pairs in
       let spill0 = ctx.st.spill_passes and work0 = ctx.st.work in
@@ -724,10 +748,251 @@ and exec_sort ctx (n : P.node) keys (pairs : (int * Tuple.t) list) :
               ]
         end
       end;
-      List.stable_sort cmp pairs)
+      let decorated =
+        List.map (fun (b, t) -> (Array.map (fun f -> f t) key_fns, (b, t))) pairs
+      in
+      List.map snd (List.stable_sort cmp decorated))
 
 let exec_plan ctx (p : P.plan) : string array * Tuple.t list =
   (p.P.cols, List.map snd (exec_pairs ctx p.P.root))
+
+(* ===================================================================== *)
+(* Batched (vectorized) execution.  Operators process {!Batch.t} chunks  *)
+(* with expressions compiled once per operator; filters refine selection *)
+(* vectors in place instead of copying rows.  Charges mirror the tuple   *)
+(* path call for call — same counters, same order, same Timeout points — *)
+(* so the tuple interpreter above stays the differential oracle: output  *)
+(* must be byte-identical and the stats exactly equal at every batch     *)
+(* size.                                                                 *)
+(* ===================================================================== *)
+
+let default_batch_size = Batch.default_size
+
+(* Batch builder: accumulates operator output into fixed-size chunks. *)
+type bb = {
+  bb_size : int;
+  mutable bb_cur : Batch.t;
+  mutable bb_done : Batch.t list;
+}
+
+let bb_create size =
+  { bb_size = size; bb_cur = Batch.create ~size (); bb_done = [] }
+
+let bb_push bb bytes row =
+  if Batch.is_full bb.bb_cur then begin
+    bb.bb_done <- bb.bb_cur :: bb.bb_done;
+    bb.bb_cur <- Batch.create ~size:bb.bb_size ()
+  end;
+  Batch.push bb.bb_cur ~bytes row
+
+let bb_finish bb =
+  if Batch.length bb.bb_cur = 0 then List.rev bb.bb_done
+  else List.rev (bb.bb_cur :: bb.bb_done)
+
+let batch_rows batches =
+  List.fold_left (fun acc b -> acc + Batch.length b) 0 batches
+
+let rec exec_batched ctx ~size (n : P.node) : Batch.t list =
+  let batches =
+    match n.P.shape with
+    | P.Scan { table; cols; _ } ->
+        Obs.Span.with_span "exec.scan" (fun () ->
+            let data = Database.raw_data ctx.db table in
+            let w0 = ctx.st.work in
+            charge ctx `Scan (Array.length data);
+            n.P.act_cost <- ctx.st.work - w0;
+            if Obs.Span.tracing () then begin
+              Obs.Span.add_list
+                [
+                  Obs.Attr.string "table" table;
+                  Obs.Attr.int "rows" (Array.length data);
+                ];
+              Obs.Metrics.incr ~by:(Array.length data) "exec.rows_scanned"
+            end;
+            let arity = Schema.arity (Database.schema ctx.db table) in
+            let narrow = Array.length cols <> arity in
+            (* Bulk-slice the base array into full batches instead of
+               pushing row by row. *)
+            let nrows = Array.length data in
+            let rec chunks off acc =
+              if off >= nrows then List.rev acc
+              else
+                let len = min size (nrows - off) in
+                let rows =
+                  if narrow then
+                    Array.init len (fun i -> Tuple.project cols data.(off + i))
+                  else Array.sub data off len
+                in
+                chunks (off + len) (Batch.of_rows rows :: acc)
+            in
+            chunks 0 [])
+    | P.Dual ->
+        n.P.act_cost <- 0;
+        let b = Batch.create ~size () in
+        Batch.push b [||];
+        [ b ]
+    | P.Filter { input; pred; charged; _ } ->
+        let batches = exec_batched ctx ~size input in
+        let w0 = ctx.st.work in
+        let p = Expr.compile_pred pred in
+        let survivors =
+          List.fold_left (fun acc b -> acc + Batch.keep p b) 0 batches
+        in
+        if charged then charge ctx `Emit survivors;
+        n.P.act_cost <- ctx.st.work - w0;
+        batches
+    | P.Project { input; items; charged; _ } ->
+        let inb = exec_batched ctx ~size input in
+        let w0 = ctx.st.work in
+        let full = Array.for_all (fun c -> c) charged in
+        let fns = Array.map Expr.compile items in
+        let bb = bb_create size in
+        List.iter
+          (fun b ->
+            Batch.iter
+              (fun row _ ->
+                let t = Array.map (fun f -> f row) fns in
+                let bytes =
+                  if full then Tuple.wire_size t else masked_size charged t
+                in
+                charge_emit_bytes ctx bytes;
+                bb_push bb bytes t)
+              b)
+          inb;
+        n.P.act_cost <- ctx.st.work - w0;
+        bb_finish bb
+    | P.Join { left; right; info } ->
+        let l = exec_batched ctx ~size left in
+        let r = exec_batched ctx ~size right in
+        Obs.Span.with_span "exec.join" (fun () ->
+            exec_join_batched ctx ~size n info l r)
+    | P.Union ns -> List.concat_map (fun c -> exec_batched ctx ~size c) ns
+    | P.Derived { input; _ } -> exec_batched ctx ~size input
+    | P.Sort { input; keys; _ } ->
+        let inb = exec_batched ctx ~size input in
+        let pairs = List.concat_map Batch.to_pairs inb in
+        let sorted = exec_sort ctx n keys pairs in
+        let bb = bb_create size in
+        List.iter (fun (b, t) -> bb_push bb b t) sorted;
+        bb_finish bb
+  in
+  n.P.act_rows <- batch_rows batches;
+  batches
+
+and exec_join_batched ctx ~size (n : P.node) (info : P.join_info) left right :
+    Batch.t list =
+  let work0 = ctx.st.work in
+  let probed0 = ctx.st.probed and emitted0 = ctx.st.emitted in
+  let nright = batch_rows right in
+  let nleft = batch_rows left in
+  let right_arr = Array.make nright [||] in
+  let ri = ref 0 in
+  List.iter
+    (fun b ->
+      Batch.iter
+        (fun row _ ->
+          right_arr.(!ri) <- row;
+          incr ri)
+        b)
+    right;
+  let plans =
+    List.map
+      (fun (lk, rk) ->
+        if Array.length lk = 0 then `Full
+        else begin
+          let tbl = KeyTbl.create (max 16 nright) in
+          Array.iteri
+            (fun idx row ->
+              let k = Tuple.project rk row in
+              let prev = try KeyTbl.find tbl k with Not_found -> [] in
+              KeyTbl.replace tbl k (idx :: prev))
+            right_arr;
+          `Hash (lk, tbl)
+        end)
+      info.P.disjuncts
+  in
+  let needs_full =
+    List.exists (function `Full -> true | `Hash _ -> false) plans
+  in
+  let null_pad = Tuple.all_null info.P.right_width in
+  let on = Expr.compile_pred info.P.on in
+  let bb = bb_create size in
+  let out_rows = ref 0 in
+  let candidates = Hashtbl.create 64 in
+  List.iter
+    (fun lb ->
+      Batch.iter
+        (fun lrow _ ->
+          Hashtbl.reset candidates;
+          if needs_full then
+            for i = 0 to nright - 1 do
+              Hashtbl.replace candidates i ()
+            done
+          else
+            List.iter
+              (function
+                | `Full -> ()
+                | `Hash (lk, tbl) -> (
+                    let k = Tuple.project lk lrow in
+                    match KeyTbl.find_opt tbl k with
+                    | None -> ()
+                    | Some idxs ->
+                        List.iter
+                          (fun i -> Hashtbl.replace candidates i ())
+                          idxs))
+              plans;
+          let matched = ref false in
+          (* Ascending right-row order, as in the tuple path. *)
+          let idxs =
+            Hashtbl.fold (fun i () acc -> i :: acc) candidates []
+            |> List.sort compare
+          in
+          charge ctx `Probe (List.length idxs);
+          List.iter
+            (fun i ->
+              let joined = Tuple.concat lrow right_arr.(i) in
+              if on joined then begin
+                matched := true;
+                charge_emit_row ctx joined;
+                incr out_rows;
+                bb_push bb 0 joined
+              end)
+            idxs;
+          if (not !matched) && info.P.kind = Sql.Left_outer then begin
+            let padded = Tuple.concat lrow null_pad in
+            charge_emit_row ctx padded;
+            incr out_rows;
+            bb_push bb 0 padded
+          end)
+        lb)
+    left;
+  n.P.act_cost <- ctx.st.work - work0;
+  if Obs.Span.tracing () then begin
+    Obs.Span.set_name
+      (if needs_full then "exec.nested-loop" else "exec.hash-join");
+    Obs.Span.add_list
+      [
+        Obs.Attr.string "kind"
+          (match info.P.kind with
+          | Sql.Inner -> "inner"
+          | Sql.Left_outer -> "left-outer");
+        Obs.Attr.int "left_rows" nleft;
+        Obs.Attr.int "right_rows" nright;
+        Obs.Attr.int "out_rows" !out_rows;
+        Obs.Attr.int "probed" (ctx.st.probed - probed0);
+        Obs.Attr.int "emitted" (ctx.st.emitted - emitted0);
+        Obs.Attr.int "work" (ctx.st.work - work0);
+      ];
+    Obs.Metrics.incr ~by:(ctx.st.probed - probed0) "exec.rows_probed";
+    Obs.Metrics.observe "exec.join.out_rows" (float_of_int !out_rows)
+  end;
+  bb_finish bb
+
+let exec_plan_batched ctx ~size (p : P.plan) : string array * Batch.t list =
+  Obs.Span.with_span "executor.batch" (fun () ->
+      if Obs.Span.tracing () then
+        Obs.Span.add_list [ Obs.Attr.int "batch_size" size ];
+      (p.P.cols, exec_batched ctx ~size p.P.root))
 
 (* --- entry points ------------------------------------------------------ *)
 
@@ -744,46 +1009,72 @@ let query_span_attrs ctx rows =
         Obs.Attr.int "work" ctx.st.work;
       ]
 
-let run_plan_with_stats ?(budget = 0) ?(profile = default_profile) db
-    (p : P.plan) =
+let run_plan_with_stats ?(budget = 0) ?(profile = default_profile) ?batch_size
+    db (p : P.plan) =
   Obs.Span.with_span "exec.query" (fun () ->
       let ctx = { db; st = new_stats (); budget; profile } in
-      let cols, tuples = exec_plan ctx p in
-      query_span_attrs ctx (List.length tuples);
-      (Relation.create cols tuples, ctx.st))
+      match batch_size with
+      | None ->
+          let cols, tuples = exec_plan ctx p in
+          query_span_attrs ctx (List.length tuples);
+          (Relation.create cols tuples, ctx.st)
+      | Some size ->
+          let cols, batches = exec_plan_batched ctx ~size p in
+          query_span_attrs ctx (batch_rows batches);
+          (Relation.create cols (List.concat_map Batch.to_list batches), ctx.st))
 
-let run_plan ?budget ?profile db p =
-  fst (run_plan_with_stats ?budget ?profile db p)
+let run_plan ?budget ?profile ?batch_size db p =
+  fst (run_plan_with_stats ?budget ?profile ?batch_size db p)
 
-let run_plan_cursor_with_stats ?(budget = 0) ?(profile = default_profile) db
-    (p : P.plan) =
+let run_plan_cursor_with_stats ?(budget = 0) ?(profile = default_profile)
+    ?batch_size db (p : P.plan) =
   Obs.Span.with_span "exec.query" (fun () ->
       let ctx = { db; st = new_stats (); budget; profile } in
-      let cols, tuples = exec_plan ctx p in
-      query_span_attrs ctx (List.length tuples);
-      (Cursor.of_list cols tuples, ctx.st))
+      match batch_size with
+      | None ->
+          let cols, tuples = exec_plan ctx p in
+          query_span_attrs ctx (List.length tuples);
+          (Cursor.of_list cols tuples, ctx.st)
+      | Some size ->
+          let cols, batches = exec_plan_batched ctx ~size p in
+          query_span_attrs ctx (batch_rows batches);
+          (Cursor.of_batches cols batches, ctx.st))
 
-let run_with_stats ?(budget = 0) ?(profile = default_profile) db (q : Sql.query) =
-  Obs.Span.with_span "exec.query" (fun () ->
-      let plan = P.plan_of db q in
-      let ctx = { db; st = new_stats (); budget; profile } in
-      let cols, tuples = exec_plan ctx plan in
-      query_span_attrs ctx (List.length tuples);
-      (Relation.create cols tuples, ctx.st))
-
-let run ?budget ?profile db q = fst (run_with_stats ?budget ?profile db q)
-
-let run_cursor_with_stats ?(budget = 0) ?(profile = default_profile) db
+let run_with_stats ?(budget = 0) ?(profile = default_profile) ?batch_size db
     (q : Sql.query) =
   Obs.Span.with_span "exec.query" (fun () ->
       let plan = P.plan_of db q in
       let ctx = { db; st = new_stats (); budget; profile } in
-      let cols, tuples = exec_plan ctx plan in
-      query_span_attrs ctx (List.length tuples);
-      (Cursor.of_list cols tuples, ctx.st))
+      match batch_size with
+      | None ->
+          let cols, tuples = exec_plan ctx plan in
+          query_span_attrs ctx (List.length tuples);
+          (Relation.create cols tuples, ctx.st)
+      | Some size ->
+          let cols, batches = exec_plan_batched ctx ~size plan in
+          query_span_attrs ctx (batch_rows batches);
+          (Relation.create cols (List.concat_map Batch.to_list batches), ctx.st))
 
-let run_cursor ?budget ?profile db q =
-  fst (run_cursor_with_stats ?budget ?profile db q)
+let run ?budget ?profile ?batch_size db q =
+  fst (run_with_stats ?budget ?profile ?batch_size db q)
+
+let run_cursor_with_stats ?(budget = 0) ?(profile = default_profile) ?batch_size
+    db (q : Sql.query) =
+  Obs.Span.with_span "exec.query" (fun () ->
+      let plan = P.plan_of db q in
+      let ctx = { db; st = new_stats (); budget; profile } in
+      match batch_size with
+      | None ->
+          let cols, tuples = exec_plan ctx plan in
+          query_span_attrs ctx (List.length tuples);
+          (Cursor.of_list cols tuples, ctx.st)
+      | Some size ->
+          let cols, batches = exec_plan_batched ctx ~size plan in
+          query_span_attrs ctx (batch_rows batches);
+          (Cursor.of_batches cols batches, ctx.st))
+
+let run_cursor ?budget ?profile ?batch_size db q =
+  fst (run_cursor_with_stats ?budget ?profile ?batch_size db q)
 
 (* --- legacy entry points (differential tests only) --------------------- *)
 

@@ -44,15 +44,38 @@ type profile = {
 
 val default_profile : profile
 
-val run : ?budget:int -> ?profile:profile -> Database.t -> Sql.query -> Relation.t
+val default_batch_size : int
+(** Vector size of the batched path when [--batch] is given without an
+    explicit size (= {!Batch.default_size}). *)
+
+val run :
+  ?budget:int ->
+  ?profile:profile ->
+  ?batch_size:int ->
+  Database.t ->
+  Sql.query ->
+  Relation.t
 (** Executes a query.  [budget > 0] bounds the work units; exceeding it
-    raises {!Timeout}. *)
+    raises {!Timeout}.  [batch_size] switches to the vectorized batch
+    path (operators process chunks of that many rows, expressions
+    compiled once per operator); output bytes and the stats counters are
+    identical to the tuple path at every batch size. *)
 
 val run_with_stats :
-  ?budget:int -> ?profile:profile -> Database.t -> Sql.query -> Relation.t * stats
+  ?budget:int ->
+  ?profile:profile ->
+  ?batch_size:int ->
+  Database.t ->
+  Sql.query ->
+  Relation.t * stats
 
 val run_cursor :
-  ?budget:int -> ?profile:profile -> Database.t -> Sql.query -> Cursor.t
+  ?budget:int ->
+  ?profile:profile ->
+  ?batch_size:int ->
+  Database.t ->
+  Sql.query ->
+  Cursor.t
 (** Like {!run}, but hands back the sorted output as a pull cursor
     instead of a materialized {!Relation.t}: rows are dropped as the
     consumer advances.  Evaluation (and therefore work accounting) is
@@ -60,7 +83,12 @@ val run_cursor :
     sort. *)
 
 val run_cursor_with_stats :
-  ?budget:int -> ?profile:profile -> Database.t -> Sql.query -> Cursor.t * stats
+  ?budget:int ->
+  ?profile:profile ->
+  ?batch_size:int ->
+  Database.t ->
+  Sql.query ->
+  Cursor.t * stats
 
 (** {1 Pre-planned execution}
 
@@ -69,11 +97,17 @@ val run_cursor_with_stats :
     [act_rows]/[act_cost] fields. *)
 
 val run_plan :
-  ?budget:int -> ?profile:profile -> Database.t -> Physical.plan -> Relation.t
+  ?budget:int ->
+  ?profile:profile ->
+  ?batch_size:int ->
+  Database.t ->
+  Physical.plan ->
+  Relation.t
 
 val run_plan_with_stats :
   ?budget:int ->
   ?profile:profile ->
+  ?batch_size:int ->
   Database.t ->
   Physical.plan ->
   Relation.t * stats
@@ -81,6 +115,7 @@ val run_plan_with_stats :
 val run_plan_cursor_with_stats :
   ?budget:int ->
   ?profile:profile ->
+  ?batch_size:int ->
   Database.t ->
   Physical.plan ->
   Cursor.t * stats

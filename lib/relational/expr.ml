@@ -158,3 +158,84 @@ let rec eval (r : resolved) (t : Tuple.t) : Value.t =
 
 (* WHERE-clause semantics: UNKNOWN filters the row out. *)
 let eval_pred r t = match eval r t with Value.Bool true -> true | _ -> false
+
+(* --- Compilation ---------------------------------------------------- *)
+
+(* Resolve the expression tree to a closure once; the per-row call then
+   pays no tree traversal.  Evaluation is pure and total, so the
+   short-circuits below are observationally equivalent to {!eval}. *)
+let rec compile (r : resolved) : Tuple.t -> Value.t =
+  match r with
+  | R_col i -> fun t -> t.(i)
+  | R_lit v -> fun _ -> v
+  | R_cmp (op, a, b) ->
+      let fa = compile a and fb = compile b in
+      fun t ->
+        (match Value.compare3 (fa t) (fb t) with
+        | None -> Value.Null
+        | Some c -> Value.Bool (apply_cmp op c))
+  | R_arith (op, a, b) ->
+      let fa = compile a and fb = compile b in
+      fun t -> apply_arith op (fa t) (fb t)
+  | R_and (a, b) ->
+      let fa = compile a and fb = compile b in
+      fun t ->
+        (match fa t with
+        | Value.Bool false -> Value.Bool false
+        | va -> (
+            match fb t with
+            | Value.Bool false -> Value.Bool false
+            | Value.Bool true ->
+                if va = Value.Bool true then Value.Bool true else Value.Null
+            | _ -> Value.Null))
+  | R_or (a, b) ->
+      let fa = compile a and fb = compile b in
+      fun t ->
+        (match fa t with
+        | Value.Bool true -> Value.Bool true
+        | va -> (
+            match fb t with
+            | Value.Bool true -> Value.Bool true
+            | Value.Bool false ->
+                if va = Value.Bool false then Value.Bool false else Value.Null
+            | _ -> Value.Null))
+  | R_not e ->
+      let fe = compile e in
+      fun t ->
+        (match fe t with Value.Bool b -> Value.Bool (not b) | _ -> Value.Null)
+  | R_is_null e ->
+      let fe = compile e in
+      fun t -> Value.Bool (Value.is_null (fe t))
+  | R_is_not_null e ->
+      let fe = compile e in
+      fun t -> Value.Bool (not (Value.is_null (fe t)))
+
+(* Boolean specialisation of {!compile} under WHERE semantics (UNKNOWN
+   is false), skipping the Value.Bool boxing on AND/OR/NOT spines. *)
+let rec compile_pred (r : resolved) : Tuple.t -> bool =
+  match r with
+  | R_lit v -> fun _ -> v = Value.Bool true
+  | R_cmp (op, a, b) ->
+      let fa = compile a and fb = compile b in
+      fun t ->
+        (match Value.compare3 (fa t) (fb t) with
+        | None -> false
+        | Some c -> apply_cmp op c)
+  | R_and (a, b) ->
+      let pa = compile_pred a and pb = compile_pred b in
+      fun t -> pa t && pb t
+  | R_or (a, b) ->
+      let pa = compile_pred a and pb = compile_pred b in
+      fun t -> pa t || pb t
+  | R_not e ->
+      let fe = compile e in
+      fun t -> (match fe t with Value.Bool false -> true | _ -> false)
+  | R_is_null e ->
+      let fe = compile e in
+      fun t -> Value.is_null (fe t)
+  | R_is_not_null e ->
+      let fe = compile e in
+      fun t -> not (Value.is_null (fe t))
+  | (R_col _ | R_arith _) as e ->
+      let fe = compile e in
+      fun t -> (match fe t with Value.Bool true -> true | _ -> false)

@@ -77,3 +77,13 @@ val eval : resolved -> Tuple.t -> Value.t
 
 val eval_pred : resolved -> Tuple.t -> bool
 (** WHERE semantics: true iff {!eval} yields [Bool true] (UNKNOWN rejects). *)
+
+val compile : resolved -> Tuple.t -> Value.t
+(** [compile r] resolves the expression tree to a closure once; the
+    returned function agrees with [eval r] on every tuple but pays no
+    per-row tree traversal.  Operators call it once per operator instead
+    of re-interpreting the tree per row. *)
+
+val compile_pred : resolved -> Tuple.t -> bool
+(** Compiled form of {!eval_pred}: agrees with it on every tuple, with
+    AND/OR/NOT spines specialised to unboxed booleans. *)

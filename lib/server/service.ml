@@ -25,6 +25,8 @@ type config = {
   result_capacity : int;
   admission_budget : int;
   max_queue : int;
+  batch_size : int;
+      (* executor vector size for every served query; 0 = tuple path *)
 }
 
 let default_config =
@@ -35,6 +37,7 @@ let default_config =
     result_capacity = 8 * 1024 * 1024;
     admission_budget = 0;
     max_queue = 64;
+    batch_size = 0;
   }
 
 type admission = Admit | Queue | Reject of string
@@ -287,9 +290,12 @@ let release t est () =
 (* --- queries ------------------------------------------------------------ *)
 
 let execute_on_pool t (p : S.Middleware.prepared) partition ~reduce =
+  let batch_size =
+    if t.cfg.batch_size > 0 then Some t.cfg.batch_size else None
+  in
   let handle =
     R.Domain_pool.submit t.pool (fun () ->
-        let e = S.Middleware.execute ~reduce p partition in
+        let e = S.Middleware.execute ~reduce ?batch_size p partition in
         (S.Middleware.xml_string_of p e, e.S.Middleware.work))
   in
   R.Domain_pool.await handle

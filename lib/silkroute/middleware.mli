@@ -80,6 +80,7 @@ val execute :
   ?transfer:Relational.Transfer.config ->
   ?sql_syntax:[ `Derived | `With ] ->
   ?domains:int ->
+  ?batch_size:int ->
   prepared ->
   Partition.t ->
   execution
@@ -90,7 +91,9 @@ val execute :
     domains; 1 is exactly the sequential path.  Output and all
     deterministic accounting (work, tuples, bytes, modeled transfer)
     are identical at every domain count — the merge-tagger tie-breaks
-    by plan order. *)
+    by plan order.  [batch_size] switches every sub-query to the
+    executor's vectorized batch path; output and accounting stay
+    identical to the tuple path at every batch size. *)
 
 val execute_parallel :
   ?style:Sql_gen.style ->
@@ -99,6 +102,7 @@ val execute_parallel :
   ?profile:Relational.Executor.profile ->
   ?transfer:Relational.Transfer.config ->
   ?sql_syntax:[ `Derived | `With ] ->
+  ?batch_size:int ->
   domains:int ->
   prepared ->
   Partition.t ->
@@ -163,6 +167,7 @@ val execute_streaming :
   ?transfer:Relational.Transfer.config ->
   ?sql_syntax:[ `Derived | `With ] ->
   ?domains:int ->
+  ?batch_size:int ->
   prepared ->
   Partition.t ->
   streaming
@@ -217,6 +222,7 @@ val execute_resilient :
   ?backend:Relational.Backend.t ->
   ?max_splits:int ->
   ?domains:int ->
+  ?batch_size:int ->
   prepared ->
   Partition.t ->
   resilient
@@ -256,6 +262,7 @@ val materialize :
   ?transfer:Relational.Transfer.config ->
   ?sql_syntax:[ `Derived | `With ] ->
   ?domains:int ->
+  ?batch_size:int ->
   Relational.Database.t ->
   Rxl.view ->
   strategy ->

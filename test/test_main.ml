@@ -43,6 +43,8 @@ let () =
       ("resilience", Test_resilience.suite);
       ("parallel", Test_parallel.suite);
       ("differential", Test_differential.suite);
+      ("batch", Test_batch.suite);
+      qcheck "batch:props" Test_batch.props;
       ("server", Test_server.suite);
       ("obs", Test_obs.suite);
       ("profile", Test_profile.suite);

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Vectorized-execution smoke: drive the CLI's --batch path and hold it
+# to the tuple path's output and accounting.
+#
+#   1. Each execution mode (materialized, streaming, resilient with a
+#      0.3 fault rate) must produce byte-identical XML *and* identical
+#      stderr accounting (streams/tuples/work/transfer; for resilient
+#      runs also the full resilience counter line) under --batch — at
+#      the default batch size and at the degenerate --batch-size 7 —
+#      as without it.
+#   2. A traced --batch run must emit JSONL that passes check_jsonl and
+#      contains the executor.batch span (the vectorized interpreter
+#      really ran; the byte-identity above is not vacuous).
+#
+# Run from dune (see tools/dune) or by hand:
+#   sh tools/batch_smoke.sh _build/default/bin/silkroute_cli.exe \
+#       _build/default/tools/check_jsonl.exe
+set -eu
+
+case $1 in */*) cli=$1 ;; *) cli=./$1 ;; esac
+case $2 in */*) check=$2 ;; *) check=./$2 ;; esac
+
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/silkroute_batch.XXXXXX")
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+base="run --query q1 --scale 0.1 --strategy fully-partitioned"
+
+run_mode () { # $1 label, $2 extra flags
+  label=$1; flags=$2
+  # shellcheck disable=SC2086
+  "$cli" $base $flags \
+      > "$tmp/$label.tup.xml" 2> "$tmp/$label.tup.err"
+  grep '^\[' "$tmp/$label.tup.err" > "$tmp/$label.tup.sum"
+  for bflags in "--batch" "--batch-size 7"; do
+    # shellcheck disable=SC2086
+    "$cli" $base $flags $bflags \
+        > "$tmp/$label.bat.xml" 2> "$tmp/$label.bat.err"
+    cmp -s "$tmp/$label.tup.xml" "$tmp/$label.bat.xml" || {
+      echo "batch-smoke FAIL: $label XML differs under $bflags" >&2
+      exit 1
+    }
+    # accounting lines (work/tuples/transfer, resilience counters) live
+    # in the [...] stderr summaries; they must match to the byte
+    grep '^\[' "$tmp/$label.bat.err" > "$tmp/$label.bat.sum"
+    cmp -s "$tmp/$label.tup.sum" "$tmp/$label.bat.sum" || {
+      echo "batch-smoke FAIL: $label accounting differs under $bflags" >&2
+      diff "$tmp/$label.tup.sum" "$tmp/$label.bat.sum" >&2 || true
+      exit 1
+    }
+  done
+  echo "batch-smoke: $label ok ($(wc -c < "$tmp/$label.tup.xml") bytes)"
+}
+
+run_mode materialized ""
+run_mode streaming "--stream"
+run_mode resilient "--resilient --fault-rate 0.3 --retries 6"
+
+# traced batch run: valid JSONL trace that actually went through the
+# vectorized interpreter
+"$cli" $base --batch --trace-json "$tmp/trace.jsonl" > /dev/null 2>&1
+"$check" "$tmp/trace.jsonl"
+grep -q '"executor.batch"' "$tmp/trace.jsonl" || {
+  echo "batch-smoke FAIL: no executor.batch span in traced --batch run" >&2
+  exit 1
+}
+
+echo "batch-smoke OK"
