@@ -507,6 +507,7 @@ let server_config domains statement_cache plan_cache result_cache
     admission_budget max_queue batch_size =
   if batch_size < 0 then invalid_arg "--batch-size must be >= 0";
   {
+    Server.Service.default_config with
     Server.Service.domains;
     statement_capacity = statement_cache;
     plan_capacity = plan_cache;
@@ -516,19 +517,90 @@ let server_config domains statement_cache plan_cache result_cache
     batch_size;
   }
 
+(* --- serve telemetry flags ----------------------------------------------- *)
+
+let telemetry_arg =
+  let doc =
+    "Enable live telemetry (spans, metrics, events) without any stderr \
+     report — what the $(b,M) exposition and $(b,silkroute monitor) read.  \
+     Implied by $(b,--trace) and $(b,--metrics)."
+  in
+  Arg.(value & flag & info [ "telemetry" ] ~doc)
+
+let trace_sample_arg =
+  let doc =
+    "Head-based trace sampling: record spans for 1 in $(docv) queries \
+     (1 = every query, 0 = none).  Sampled-out queries still produce \
+     metrics, events, SLO samples and slow-query records."
+  in
+  Arg.(value & opt int 1 & info [ "trace-sample" ] ~docv:"N" ~doc)
+
+let slow_ms_arg =
+  let doc =
+    "Slow-query threshold in milliseconds: slower queries raise a \
+     $(b,server.slow_query) event, count in the stats report, and — with \
+     $(b,--slow-log) — append a structured JSONL record.  0 disables."
+  in
+  Arg.(value & opt float 0.0 & info [ "slow-ms" ] ~docv:"MS" ~doc)
+
+let slow_log_arg =
+  let doc =
+    "Append slow-query records (trace id, digest, per-stage profile, GC \
+     deltas, cache tiers) as JSON Lines to $(docv); requires \
+     $(b,--slow-ms)."
+  in
+  Arg.(value & opt (some string) None & info [ "slow-log" ] ~docv:"FILE" ~doc)
+
+let slo_target_arg =
+  let doc =
+    "Enable the rolling SLO monitor with this p99 latency target in \
+     milliseconds (0 disables).  Breaching the target — or the error \
+     budget — raises an $(b,slo.burn) event and shows in the exposition."
+  in
+  Arg.(value & opt float 0.0 & info [ "slo-target-ms" ] ~docv:"MS" ~doc)
+
+let slo_error_budget_arg =
+  let doc = "SLO error budget as a fraction of requests (default 0.01)." in
+  Arg.(value & opt float 0.01 & info [ "slo-error-budget" ] ~docv:"FRAC" ~doc)
+
 let serve_cmd scale seed schema data socket parallel statement_cache plan_cache
-    result_cache admission_budget max_queue batch_size verbose trace metrics =
+    result_cache admission_budget max_queue batch_size telemetry trace_sample
+    slow_ms slow_log slo_target_ms slo_error_budget verbose trace metrics =
   setup_logs verbose;
   setup_obs ~trace ~trace_json:None ~metrics ~profile:false ();
+  if telemetry then Obs.Control.set_enabled true;
   let socket =
     match socket with
     | Some path -> path
     | None -> invalid_arg "serve requires --socket PATH"
   in
+  if trace_sample < 0 then invalid_arg "--trace-sample must be >= 0";
+  if slow_log <> None && slow_ms <= 0.0 then
+    invalid_arg "--slow-log requires --slow-ms";
   let db = setup_db scale seed schema data in
+  let slo =
+    if slo_target_ms <= 0.0 then None
+    else
+      Some
+        {
+          Obs.Slo.default_config with
+          Obs.Slo.target_p99_ms = slo_target_ms;
+          max_error_rate = slo_error_budget;
+        }
+  in
   let config =
-    server_config parallel statement_cache plan_cache result_cache
-      admission_budget max_queue batch_size
+    {
+      (server_config parallel statement_cache plan_cache result_cache
+         admission_budget max_queue batch_size)
+      with
+      Server.Service.trace_sample;
+      slow_ms;
+      slow_log;
+      slo;
+      (* a long-running server prunes each request's spans once served;
+         --trace keeps them for the exit report *)
+      retain_spans = trace;
+    }
   in
   let server = Server.Service.create ~config db in
   Printf.eprintf "[serving on %s: %d domain(s), caches %d/%d/%dB, budget %d]\n%!"
@@ -634,6 +706,109 @@ let workload_cmd scale seed schema data socket parallel statement_cache
   if tally.Server.Workload.mismatches <> [] then exit 1;
   if tally.Server.Workload.failed > 0 then exit 2
 
+(* --- monitor ------------------------------------------------------------- *)
+
+(* Top-style live view over the server's M/H telemetry endpoints: poll
+   the exposition, parse it back through the same Expose module that
+   rendered it, and print a compact frame.  qps comes from the
+   requests_total delta between polls (whole-uptime average on the
+   first frame and under --once). *)
+
+let fetch_info socket req =
+  match Server.Workload.request ~socket req with
+  | Some (Server.Protocol.Info text) -> text
+  | Some r ->
+      invalid_arg
+        ("monitor: unexpected " ^ Server.Protocol.reply_name r ^ " reply")
+  | None -> invalid_arg "monitor: server closed the connection without replying"
+
+let monitor_frame ~socket ~prev text =
+  let p = Obs.Expose.parse text in
+  let g ?(d = 0.0) key = Option.value ~default:d (Obs.Expose.find p key) in
+  let uptime = g "silkroute_uptime_seconds" in
+  let requests = g "silkroute_server_requests_total" in
+  let qps =
+    match prev with
+    | Some (t0, r0) when uptime > t0 -> (requests -. r0) /. (uptime -. t0)
+    | _ -> if uptime > 0.0 then requests /. uptime else 0.0
+  in
+  let ratio tier =
+    100.0 *. g (Printf.sprintf "silkroute_cache_hit_ratio{tier=%S}" tier)
+  in
+  let quantile q =
+    g (Printf.sprintf "silkroute_server_request_ms{quantile=%S}" q)
+  in
+  let slo_line =
+    if Obs.Expose.find p "silkroute_slo_burn_rate" = None then
+      "slo:      (not configured)"
+    else
+      Printf.sprintf
+        "slo:      p99 %.2fms  burn %.2f  errors %.2f%%  breached %s"
+        (g "silkroute_slo_p99_ms")
+        (g "silkroute_slo_burn_rate")
+        (100.0 *. g "silkroute_slo_error_rate")
+        (if g "silkroute_slo_breached" > 0.0 then "YES" else "no")
+  in
+  let frame =
+    String.concat "\n"
+      [
+        Printf.sprintf "silkroute monitor — %s   up %.1fs   epoch %.0f" socket
+          uptime
+          (g "silkroute_stats_epoch");
+        Printf.sprintf
+          "requests: %.0f  qps %.1f  rejected %.0f  failed %.0f  slow %.0f"
+          requests qps
+          (g "silkroute_server_rejected_total")
+          (g "silkroute_server_failed_total")
+          (g "silkroute_server_slow_queries_total");
+        Printf.sprintf
+          "cache:    hit%% statement %.1f  plan %.1f  result %.1f"
+          (ratio "statement") (ratio "plan") (ratio "result");
+        Printf.sprintf "latency:  p50 %.2fms  p90 %.2fms  p99 %.2fms"
+          (quantile "0.5") (quantile "0.9") (quantile "0.99");
+        slo_line;
+        Printf.sprintf
+          "backlog:  pool queue %.0f  in-flight work %.1f  waiting %.0f"
+          (g "silkroute_pool_queue_depth")
+          (g "silkroute_admission_in_flight_work")
+          (g "silkroute_admission_waiting");
+      ]
+  in
+  (frame, (uptime, requests))
+
+let monitor_cmd socket once raw interval =
+  let socket =
+    match socket with
+    | Some path -> path
+    | None -> invalid_arg "monitor requires --socket PATH"
+  in
+  if interval <= 0.0 then invalid_arg "--interval must be positive";
+  if raw then print_string (fetch_info socket Server.Protocol.Metrics)
+  else if once then begin
+    let frame, _ = monitor_frame ~socket ~prev:None (fetch_info socket Server.Protocol.Metrics) in
+    print_endline frame;
+    print_endline ("health:   " ^ fetch_info socket Server.Protocol.Health)
+  end
+  else begin
+    let prev = ref None in
+    let rec loop () =
+      let frame, cur =
+        monitor_frame ~socket ~prev:!prev (fetch_info socket Server.Protocol.Metrics)
+      in
+      prev := Some cur;
+      (* repaint in place, top-style *)
+      print_string "\027[2J\027[H";
+      print_endline frame;
+      print_string "\n(ctrl-c to quit)\n";
+      flush stdout;
+      Unix.sleepf interval;
+      loop ()
+    in
+    try loop ()
+    with Unix.Unix_error _ | Invalid_argument _ | End_of_file ->
+      prerr_endline "monitor: server went away"
+  end
+
 let run_t =
   Term.(
     const run_cmd $ query_arg $ view_arg $ scale_arg $ seed_arg $ schema_arg
@@ -668,7 +843,27 @@ let serve_t =
     $ socket_arg "to listen on (required)"
     $ parallel_arg $ statement_cache_arg $ plan_cache_arg $ result_cache_arg
     $ admission_budget_arg $ max_queue_arg $ server_batch_size_arg
+    $ telemetry_arg $ trace_sample_arg $ slow_ms_arg $ slow_log_arg
+    $ slo_target_arg $ slo_error_budget_arg
     $ verbose_arg $ trace_arg $ metrics_arg)
+
+let monitor_once_arg =
+  let doc = "Print one frame (plus the health line) and exit." in
+  Arg.(value & flag & info [ "once" ] ~doc)
+
+let monitor_raw_arg =
+  let doc = "Print the raw Prometheus-style exposition text and exit." in
+  Arg.(value & flag & info [ "raw" ] ~doc)
+
+let monitor_interval_arg =
+  let doc = "Seconds between polls in the live view." in
+  Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"S" ~doc)
+
+let monitor_t =
+  Term.(
+    const monitor_cmd
+    $ socket_arg "of a running server (required)"
+    $ monitor_once_arg $ monitor_raw_arg $ monitor_interval_arg)
 
 let workload_t =
   Term.(
@@ -697,6 +892,14 @@ let cmds =
             server (in-process, or over --socket) and verify every result \
             byte-for-byte against the direct pipeline.")
       workload_t;
+    Cmd.v
+      (Cmd.info "monitor"
+         ~doc:
+           "Poll a running server's telemetry endpoint and render a \
+            top-style live view: qps, cache hit ratios, latency \
+            percentiles, SLO burn and queue depth.  --once prints a \
+            single frame, --raw the exposition text.")
+      monitor_t;
     Cmd.v
       (Cmd.info "explain"
          ~doc:

@@ -68,6 +68,13 @@ let set_threshold l = threshold := l
 
 let emit ?(attrs = []) level name =
   if Control.is_enabled () && level_rank level >= level_rank !threshold then begin
+    (* Request-scoped base attrs (the trace id) ride on every event the
+       request produces, same as on its spans.  Sampling deliberately
+       does NOT gate events: a sampled-out request keeps its trace id in
+       the flight recorder even though it records no spans. *)
+    let attrs =
+      match Span.base_attrs () with [] -> attrs | base -> base @ attrs
+    in
     Mutex.protect ring_lock (fun () ->
         let e = { seq = !seq; ts_ns = Clock.now_ns (); level; name; attrs } in
         incr seq;
@@ -128,18 +135,21 @@ let sink = ref default_sink
 let set_dump_sink f = sink := f
 let use_default_sink () = sink := default_sink
 
-let dumps = ref 0
+(* Atomic, not a plain ref: dumps fire from whichever domain hits the
+   catastrophic condition, and two domains dumping concurrently would
+   lose an increment through a plain [incr] (read-modify-write race). *)
+let dumps = Atomic.make 0
 let last_dump_reason : string option ref = ref None
 
 let dump ~reason =
   if Control.is_enabled () then begin
-    incr dumps;
+    Atomic.incr dumps;
     last_dump_reason := Some reason;
     Metrics.incr "events.dumps";
     !sink { reason; dumped = events () }
   end
 
-let dump_count () = !dumps
+let dump_count () = Atomic.get dumps
 
 let reset () =
   Mutex.protect ring_lock (fun () ->
@@ -149,5 +159,5 @@ let reset () =
       seq := 0);
   threshold := Debug;
   sink := default_sink;
-  dumps := 0;
+  Atomic.set dumps 0;
   last_dump_reason := None

@@ -29,7 +29,10 @@ type t = {
 val emit : ?attrs:Attr.t -> level -> string -> unit
 (** Records an event when observability is on and [level] is at or above
     the threshold; also bumps the ["events.<level>"] counter.  O(1); the
-    oldest ring entry is evicted when full. *)
+    oldest ring entry is evicted when full.  The calling domain's
+    {!Span.base_attrs} (the request's trace id) are prepended to
+    [attrs], and head sampling does not apply — a sampled-out request
+    still leaves its events in the flight recorder. *)
 
 val debug : ?attrs:Attr.t -> string -> unit
 val info : ?attrs:Attr.t -> string -> unit

@@ -57,29 +57,72 @@ let log_mutex = Mutex.create ()
 let next_id = ref 0
 let log : t list ref = ref [] (* every span, reverse start order *)
 
-(* Per-domain state: the stack of open spans, and the parenting base a
-   pool installs around a task ([with_context]). *)
+(* Per-domain state: the stack of open spans, the parenting base a pool
+   installs around a task ([with_context]), the request-scoped base
+   attributes stamped onto every span and event ([with_base_attrs] — the
+   server puts the trace id here), and the head-sampling flag
+   ([with_sampling] — a sampled-out request records no spans at all). *)
 let stack_key : t list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
 let base_key : (int * int) option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
+let base_attrs_key : Attr.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let sampled_key : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref true)
+
 let stack () = Domain.DLS.get stack_key
 let base () = Domain.DLS.get base_key
+let base_attrs () = !(Domain.DLS.get base_attrs_key)
+let sampled () = !(Domain.DLS.get sampled_key)
 
-type context = (int * int) option (* (id, depth) of the adopting span *)
+let with_base_attrs attrs f =
+  let r = Domain.DLS.get base_attrs_key in
+  let saved = !r in
+  r := saved @ attrs;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+let with_sampling b f =
+  let r = Domain.DLS.get sampled_key in
+  let saved = !r in
+  r := b;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+(* A context carries everything a worker domain must inherit to keep a
+   request's telemetry coherent across the submit boundary: the adopting
+   span (id, depth), the request's base attributes (trace id), and its
+   sampling decision. *)
+type context = {
+  c_parent : (int * int) option;
+  c_attrs : Attr.t;
+  c_sampled : bool;
+}
 
 let context () =
-  match !(stack ()) with
-  | s :: _ -> Some (s.id, s.depth)
-  | [] -> !(base ())
+  let parent =
+    match !(stack ()) with
+    | s :: _ -> Some (s.id, s.depth)
+    | [] -> !(base ())
+  in
+  { c_parent = parent; c_attrs = base_attrs (); c_sampled = sampled () }
 
 let with_context ctx f =
   let b = base () in
-  let saved = !b in
-  b := ctx;
-  Fun.protect ~finally:(fun () -> b := saved) f
+  let a = Domain.DLS.get base_attrs_key in
+  let sm = Domain.DLS.get sampled_key in
+  let saved_b = !b and saved_a = !a and saved_s = !sm in
+  b := ctx.c_parent;
+  a := ctx.c_attrs;
+  sm := ctx.c_sampled;
+  Fun.protect
+    ~finally:(fun () ->
+      b := saved_b;
+      a := saved_a;
+      sm := saved_s)
+    f
 
 let tracing = Control.is_enabled
 
@@ -88,9 +131,23 @@ let reset () =
       next_id := 0;
       log := []);
   stack () := [];
-  base () := None
+  base () := None;
+  Domain.DLS.get base_attrs_key := [];
+  Domain.DLS.get sampled_key := true
 
 let spans () = List.rev (Mutex.protect log_mutex (fun () -> !log))
+
+(* Drop recorded spans matching [pred] from the log.  The server prunes
+   each request's spans once their profile has been extracted, so a
+   long-running process does not accumulate one span tree per request
+   forever.  Open spans are never pruned: their [finish] still has to
+   run, and dropping them would break the parent-before-child reading
+   order for their children. *)
+let prune pred =
+  Mutex.protect log_mutex (fun () ->
+      log := List.filter (fun s -> not (s.finished && pred s)) !log)
+
+let find_attr s key = List.assoc_opt key (List.rev s.attr_rev)
 let attrs s = List.rev s.attr_rev
 let duration_ms s = Clock.ns_to_ms (Int64.sub s.end_ns s.start_ns)
 
@@ -128,7 +185,7 @@ let finish s =
     (duration_ms s)
 
 let with_span ?(attrs = []) name f =
-  if not (Control.is_enabled ()) then f ()
+  if not (Control.is_enabled () && sampled ()) then f ()
   else begin
     let st = stack () in
     let parent, depth =
@@ -151,7 +208,7 @@ let with_span ?(attrs = []) name f =
               name;
               start_ns = Clock.now_ns ();
               end_ns = 0L;
-              attr_rev = List.rev attrs;
+              attr_rev = List.rev_append attrs (List.rev (base_attrs ()));
               finished = false;
               gc_minor_words = minor0;
               gc_major_words = major0;

@@ -31,18 +31,43 @@ val with_span : ?attrs:Attr.t -> string -> (unit -> 'a) -> 'a
     is just [f ()]. *)
 
 type context
-(** The parenting position at some point in some domain's dynamic
-    extent: spans opened under {!with_context} become children of the
-    span that was innermost when {!context} was called. *)
+(** The telemetry position at some point in some domain's dynamic
+    extent: the parenting span (spans opened under {!with_context}
+    become children of the span that was innermost when {!context} was
+    called), plus the request-scoped base attributes and sampling
+    decision, so a request's trace id and head-sampling choice follow
+    its work across the pool's submit boundary. *)
 
 val context : unit -> context
-(** The current parenting position — the innermost open span of the
-    calling domain, or its installed base when its stack is empty. *)
+(** The current position — the innermost open span of the calling
+    domain (or its installed base when its stack is empty), together
+    with the domain's current {!base_attrs} and {!sampled} state. *)
 
 val with_context : context -> (unit -> 'a) -> 'a
 (** Runs [f] with [ctx] installed as the calling domain's parenting
-    base, restoring the previous base afterwards.  Used by worker
-    domains so a task's spans land under the span that submitted it. *)
+    base, base attributes and sampling flag, restoring the previous
+    state afterwards.  Used by worker domains so a task's spans land
+    under the span that submitted it and carry its trace id. *)
+
+val with_base_attrs : Attr.t -> (unit -> 'a) -> 'a
+(** Appends [attrs] to the calling domain's base attributes for the
+    extent of [f]: every span opened inside (and, via {!Event}, every
+    event emitted inside) carries them first.  The server wraps each
+    protocol request in [with_base_attrs [trace_id ...]] — this is the
+    trace-id propagation mechanism. *)
+
+val base_attrs : unit -> Attr.t
+(** The calling domain's current base attributes ([[]] outside any
+    {!with_base_attrs}). *)
+
+val with_sampling : bool -> (unit -> 'a) -> 'a
+(** Sets the head-sampling decision for the extent of [f]: with
+    [false], {!with_span} runs its thunk directly and records nothing —
+    a sampled-out request produces zero spans while metrics and events
+    still flow.  Nesting restores the outer decision on exit. *)
+
+val sampled : unit -> bool
+(** The calling domain's current sampling decision (default [true]). *)
 
 val tracing : unit -> bool
 (** Alias for {!Control.is_enabled}: guard attribute computation at the
@@ -65,6 +90,16 @@ val attrs : t -> Attr.t
 (** Attributes in insertion order. *)
 
 val duration_ms : t -> float
+
+val find_attr : t -> string -> Attr.value option
+(** First attribute named [key], in insertion order — how the server
+    finds a span's [trace_id]. *)
+
+val prune : (t -> bool) -> unit
+(** Drops {e finished} spans matching the predicate from the log (open
+    spans always survive).  The server prunes each request's spans after
+    extracting its profile so a long-running process stays bounded. *)
+
 val reset : unit -> unit
 
 val set_gc_source : (unit -> float * float * int) -> unit

@@ -42,6 +42,10 @@ type t = {
 
 let size p = p.size
 
+(* Tasks submitted but not yet picked up by a worker.  Inline pools run
+   tasks synchronously in [submit], so their queue is always empty. *)
+let queue_depth p = Mutex.protect p.qm (fun () -> Queue.length p.jobs)
+
 let fill h result =
   Mutex.protect h.hm (fun () -> h.st <- result);
   Condition.broadcast h.hcv

@@ -25,6 +25,10 @@ val create : domains:int -> t
 val size : t -> int
 (** The [domains] the pool was created with. *)
 
+val queue_depth : t -> int
+(** Tasks submitted but not yet picked up by a worker — the backlog the
+    server's telemetry endpoint reports.  Always 0 on an inline pool. *)
+
 val submit : t -> (unit -> 'a) -> 'a handle
 (** Enqueues a task (or runs it inline on an inline pool).  Raises
     [Invalid_argument] if the pool has been shut down. *)

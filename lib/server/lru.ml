@@ -149,6 +149,15 @@ let clear t =
 let length t = Mutex.protect t.m (fun () -> Hashtbl.length t.tbl)
 let total_weight t = Mutex.protect t.m (fun () -> t.total)
 
+(* Derived from one locked read of both counters, so a concurrent find
+   cannot skew the ratio between reading hits and reading misses. *)
+let ratio_of ~hits ~misses =
+  let total = hits + misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+let hit_ratio t =
+  Mutex.protect t.m (fun () -> ratio_of ~hits:t.hits ~misses:t.misses)
+
 let stats t =
   Mutex.protect t.m (fun () ->
       {

@@ -53,5 +53,13 @@ type stats = {
 
 val stats : 'a t -> stats
 
+val ratio_of : hits:int -> misses:int -> float
+(** [hits / (hits + misses)], 0 when both are zero — the one hit-ratio
+    formula the exposition, [--server-stats] and the tests share. *)
+
+val hit_ratio : 'a t -> float
+(** {!ratio_of} over both counters read under the cache mutex, so a
+    concurrent lookup cannot skew the ratio between the two reads. *)
+
 val keys_mru : 'a t -> string list
 (** Keys from most- to least-recently used (tests, reports). *)

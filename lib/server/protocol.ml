@@ -15,6 +15,8 @@ type request =
   | Query of { view : string; strategy : string; reduce : bool }
   | Invalidate of { table : string; factor : float }
   | Stats
+  | Metrics
+  | Health
   | Shutdown
 
 type tiers = { statement_hit : bool; plan_hit : bool; result_hit : bool }
@@ -89,6 +91,8 @@ let write_request oc = function
   | Invalidate { table; factor } ->
       write_frame oc [ "I"; table; Printf.sprintf "%h" factor ]
   | Stats -> write_frame oc [ "S" ]
+  | Metrics -> write_frame oc [ "M" ]
+  | Health -> write_frame oc [ "H" ]
   | Shutdown -> write_frame oc [ "X" ]
 
 let read_request ic =
@@ -99,7 +103,15 @@ let read_request ic =
   | Some [ "I"; table; factor ] ->
       Some (Invalidate { table; factor = float_of_field ~what:"factor" factor })
   | Some [ "S" ] -> Some Stats
+  | Some [ "M" ] -> Some Metrics
+  | Some [ "H" ] -> Some Health
   | Some [ "X" ] -> Some Shutdown
+  | Some ((("M" | "H") as tag) :: _ :: _) ->
+      (* telemetry requests carry no operands; extra fields are a
+         malformed frame, not silently-ignored payload *)
+      raise
+        (Protocol_error
+           (Printf.sprintf "telemetry request %S takes no fields" tag))
   | Some (tag :: _) ->
       raise (Protocol_error (Printf.sprintf "bad request frame (tag %S)" tag))
   | Some [] -> raise (Protocol_error "empty request frame")
@@ -150,6 +162,8 @@ let request_name = function
   | Query _ -> "query"
   | Invalidate _ -> "invalidate"
   | Stats -> "stats"
+  | Metrics -> "metrics"
+  | Health -> "health"
   | Shutdown -> "shutdown"
 
 let reply_name = function

@@ -19,6 +19,14 @@ type request =
           caches.  A non-empty [table] additionally skews that table's
           catalog entry by [factor] first ([--skew-stats]-style). *)
   | Stats  (** Ask for the server's counter report. *)
+  | Metrics
+      (** Ask for the live telemetry exposition (Prometheus-style text:
+          registry metrics, cache tiers, admission, pool depth, SLO).
+          Tag [M]; carries no fields — extra fields are a
+          {!Protocol_error}. *)
+  | Health
+      (** Ask for a cheap liveness summary (status, uptime, epoch,
+          queue depth).  Tag [H]; carries no fields. *)
   | Shutdown  (** Stop the server after replying. *)
 
 (** Which cache tiers served (part of) a query. *)
@@ -29,7 +37,9 @@ type reply =
       (** [work] is the engine work actually spent on this request —
           0 on a result-cache hit.  [est_cost] is the admission
           estimate. *)
-  | Info of string  (** Stats report / shutdown acknowledgement. *)
+  | Info of string
+      (** Stats report, telemetry exposition, health summary or
+          shutdown acknowledgement. *)
   | Rejected of string  (** Admission control refused the query. *)
   | Failed of string  (** Execution raised; the message names the error. *)
 

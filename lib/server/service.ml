@@ -9,6 +9,15 @@
    tiers hit, the admission outcome and the engine work spent; admission
    queueing/rejection and cache evictions emit events.
 
+   Telemetry: every query gets a trace id (a per-service atomic
+   sequence) installed as a span base attribute, so all spans and events
+   the request produces — including those from pool worker domains,
+   which inherit the base attrs through Span.context — carry it.  Head
+   sampling ([trace_sample]) decides per request whether spans are
+   recorded at all; metrics, events, the SLO account and the slow-query
+   log are NOT sampled.  Requests slower than [slow_ms] append a
+   structured JSONL record through the bounded non-blocking Slowlog.
+
    Locking: each LRU tier has its own mutex (see Lru); [plan_m]
    serializes plan-tier misses so concurrent sessions cannot duplicate
    planning work or race the cost oracle's request counter; [adm_m] +
@@ -27,6 +36,15 @@ type config = {
   max_queue : int;
   batch_size : int;
       (* executor vector size for every served query; 0 = tuple path *)
+  trace_sample : int;
+      (* head sampling: record spans for 1 in N queries; 1 = all, 0 = none *)
+  slow_ms : float; (* slow-query threshold; 0 disables the slow path *)
+  slow_log : string option; (* JSONL file for slow-query records *)
+  slo : Obs.Slo.config option; (* None = no SLO accounting *)
+  retain_spans : bool;
+      (* keep each request's spans in the shared log after serving it;
+         the long-running server sets this false so the log stays
+         bounded, tests keep the default to inspect spans afterwards *)
 }
 
 let default_config =
@@ -38,6 +56,11 @@ let default_config =
     admission_budget = 0;
     max_queue = 64;
     batch_size = 0;
+    trace_sample = 1;
+    slow_ms = 0.0;
+    slow_log = None;
+    slo = None;
+    retain_spans = true;
   }
 
 type admission = Admit | Queue | Reject of string
@@ -81,6 +104,7 @@ type counters = {
   failed : int;
   invalidations : int;
   executed_work : int;
+  slow : int;
 }
 
 type t = {
@@ -103,6 +127,11 @@ type t = {
   (* counters *)
   cm : Mutex.t;
   mutable c : counters;
+  (* telemetry *)
+  started_ns : int64;
+  trace_seq : int Atomic.t;
+  slowlog : Slowlog.t option;
+  slo : Obs.Slo.t option;
 }
 
 let zero_counters =
@@ -115,11 +144,14 @@ let zero_counters =
     failed = 0;
     invalidations = 0;
     executed_work = 0;
+    slow = 0;
   }
 
 let create ?(config = default_config) db =
   if config.domains < 1 then
     invalid_arg "Server.create: domains must be >= 1";
+  if config.trace_sample < 0 then
+    invalid_arg "Server.create: trace_sample must be >= 0";
   let stats = R.Stats.analyze db in
   {
     db;
@@ -140,6 +172,16 @@ let create ?(config = default_config) db =
     waiting = 0;
     cm = Mutex.create ();
     c = zero_counters;
+    started_ns = Obs.Clock.now_ns ();
+    trace_seq = Atomic.make 0;
+    slowlog =
+      (match config.slow_log with
+      | Some path -> Some (Slowlog.create ~path ())
+      | None -> None);
+    slo =
+      (match config.slo with
+      | Some slo_cfg -> Some (Obs.Slo.create ~config:slo_cfg ())
+      | None -> None);
   }
 
 let config t = t.cfg
@@ -148,6 +190,11 @@ let counters t = Mutex.protect t.cm (fun () -> t.c)
 let bump f t = Mutex.protect t.cm (fun () -> t.c <- f t.c)
 
 let tier_stats t = (Lru.stats t.statements, Lru.stats t.plans, Lru.stats t.results)
+let slowlog t = t.slowlog
+let slo t = t.slo
+
+let uptime_s t =
+  Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t.started_ns) /. 1e9
 
 (* --- strategies --------------------------------------------------------- *)
 
@@ -287,6 +334,9 @@ let release t est () =
   Mutex.protect t.adm_m (fun () -> t.in_flight <- t.in_flight -. est);
   Condition.broadcast t.adm_cv
 
+let admission_account t =
+  Mutex.protect t.adm_m (fun () -> (t.in_flight, t.waiting))
+
 (* --- queries ------------------------------------------------------------ *)
 
 let execute_on_pool t (p : S.Middleware.prepared) partition ~reduce =
@@ -300,113 +350,256 @@ let execute_on_pool t (p : S.Middleware.prepared) partition ~reduce =
   in
   R.Domain_pool.await handle
 
+let query_body t ~view ~strategy ~reduce =
+  Obs.Span.with_span "server.request" (fun () ->
+      try
+        let strat = strategy_of_string strategy in
+        if Obs.Span.tracing () then
+          Obs.Span.add_list
+            [
+              Obs.Attr.string "strategy" (strategy_key strat);
+              Obs.Attr.bool "reduce" reduce;
+            ];
+        let p, statement_hit = statement_of t view in
+        let digest = view_digest view in
+        let epoch = Atomic.get t.epoch in
+        let pe, plan_hit =
+          plan_of t p ~digest ~strategy:strat ~reduce ~epoch
+        in
+        let tiers hit =
+          { Protocol.statement_hit; plan_hit; result_hit = hit }
+        in
+        let rkey = result_key ~digest ~mask:pe.pe_mask ~reduce ~epoch in
+        match Lru.find t.results rkey with
+        | Some r ->
+            tier_metric "result" true;
+            if Obs.Span.tracing () then
+              Obs.Span.add_list
+                [
+                  Obs.Attr.bool "cache.result" true;
+                  Obs.Attr.int "bytes" (String.length r.rx_xml);
+                ];
+            Protocol.Result
+              {
+                xml = r.rx_xml;
+                tiers = tiers true;
+                work = 0;
+                est_cost = pe.pe_est_cost;
+              }
+        | None -> (
+            tier_metric "result" false;
+            match admit t pe.pe_est_cost with
+            | Error reason ->
+                bump (fun c -> { c with rejected = c.rejected + 1 }) t;
+                if Obs.Span.tracing () then begin
+                  Obs.Span.add "admission" (Obs.Attr.String "rejected");
+                  Obs.Event.warn "server.admission.reject"
+                    ~attrs:
+                      [
+                        Obs.Attr.string "reason" reason;
+                        Obs.Attr.float "est_cost" pe.pe_est_cost;
+                      ]
+                end;
+                Protocol.Rejected reason
+            | Ok had_to_queue ->
+                bump
+                  (fun c ->
+                    {
+                      c with
+                      admitted = c.admitted + 1;
+                      queued = (c.queued + if had_to_queue then 1 else 0);
+                    })
+                  t;
+                if Obs.Span.tracing () then begin
+                  Obs.Span.add "admission"
+                    (Obs.Attr.String
+                       (if had_to_queue then "queued" else "admitted"));
+                  if had_to_queue then
+                    Obs.Event.debug "server.admission.queued"
+                      ~attrs:[ Obs.Attr.float "est_cost" pe.pe_est_cost ]
+                end;
+                let partition =
+                  S.Partition.of_mask p.S.Middleware.tree pe.pe_mask
+                in
+                let xml, work =
+                  Fun.protect
+                    ~finally:(release t pe.pe_est_cost)
+                    (fun () -> execute_on_pool t p partition ~reduce)
+                in
+                Lru.add ~weight:(String.length xml) t.results rkey
+                  { rx_xml = xml; rx_work = work };
+                bump
+                  (fun c ->
+                    { c with executed_work = c.executed_work + work })
+                  t;
+                if Obs.Span.tracing () then
+                  Obs.Span.add_list
+                    [
+                      Obs.Attr.int "work" work;
+                      Obs.Attr.int "bytes" (String.length xml);
+                    ];
+                Protocol.Result
+                  {
+                    xml;
+                    tiers = tiers false;
+                    work;
+                    est_cost = pe.pe_est_cost;
+                  })
+      with e ->
+        bump (fun c -> { c with failed = c.failed + 1 }) t;
+        let msg =
+          match e with Invalid_argument m -> m | e -> Printexc.to_string e
+        in
+        if Obs.Span.tracing () then
+          Obs.Event.error "server.request.failed"
+            ~attrs:[ Obs.Attr.string "error" msg ];
+        Protocol.Failed msg)
+
+(* --- request telemetry --------------------------------------------------- *)
+
+(* Head sampling: the shared sequence both names the trace and decides
+   (1-in-N) whether its spans are recorded.  Sampled-out requests still
+   produce metrics, events and SLO samples. *)
+let next_trace t =
+  let seq = Atomic.fetch_and_add t.trace_seq 1 in
+  let sampled =
+    match t.cfg.trace_sample with
+    | 0 -> false
+    | 1 -> true
+    | n -> seq mod n = 0
+  in
+  (Printf.sprintf "t%06d" seq, sampled)
+
+let span_of_trace trace_id s =
+  match Obs.Span.find_attr s "trace_id" with
+  | Some (Obs.Attr.String id) -> id = trace_id
+  | _ -> false
+
+(* The per-stage profile of one request: its spans (matched by trace id,
+   so pool-domain spans are included) aggregated by name-path. *)
+let stages_of_trace trace_id =
+  let spans = List.filter (span_of_trace trace_id) (Obs.Span.spans ()) in
+  let prof = Obs.Profile.of_spans spans in
+  let out = ref [] in
+  Obs.Profile.iter
+    (fun path node ->
+      out :=
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.String (String.concat "/" path));
+            ("calls", Obs.Json.Int node.Obs.Profile.calls);
+            ("total_ms", Obs.Json.Float node.Obs.Profile.total_ms);
+            ("self_ms", Obs.Json.Float node.Obs.Profile.self_ms);
+          ]
+        :: !out)
+    prof;
+  List.rev !out
+
+let tiers_json = function
+  | Protocol.Result { tiers; _ } ->
+      Obs.Json.Obj
+        [
+          ("statement", Obs.Json.Bool tiers.Protocol.statement_hit);
+          ("plan", Obs.Json.Bool tiers.Protocol.plan_hit);
+          ("result", Obs.Json.Bool tiers.Protocol.result_hit);
+        ]
+  | _ -> Obs.Json.Null
+
+let slow_record t ~trace_id ~view ~strategy ~reduce ~ms ~gc0 ~gc1 reply =
+  let work, bytes =
+    match reply with
+    | Protocol.Result { work; xml; _ } -> (work, String.length xml)
+    | _ -> (0, 0)
+  in
+  Obs.Json.Obj
+    [
+      ("type", Obs.Json.String "slow_query");
+      ("trace_id", Obs.Json.String trace_id);
+      ("ts_ms", Obs.Json.Float (Unix.gettimeofday () *. 1000.0));
+      ("ms", Obs.Json.Float ms);
+      ("threshold_ms", Obs.Json.Float t.cfg.slow_ms);
+      ("view_digest", Obs.Json.String (view_digest view));
+      ("strategy", Obs.Json.String strategy);
+      ("reduce", Obs.Json.Bool reduce);
+      ("reply", Obs.Json.String (Protocol.reply_name reply));
+      ("tiers", tiers_json reply);
+      ("work", Obs.Json.Int work);
+      ("bytes", Obs.Json.Int bytes);
+      ( "gc",
+        Obs.Json.Obj
+          [
+            ( "minor_words",
+              Obs.Json.Float (gc1.Gc.minor_words -. gc0.Gc.minor_words) );
+            ( "major_words",
+              Obs.Json.Float (gc1.Gc.major_words -. gc0.Gc.major_words) );
+            ( "compactions",
+              Obs.Json.Int (gc1.Gc.compactions - gc0.Gc.compactions) );
+          ] );
+      ("stages", Obs.Json.List (stages_of_trace trace_id));
+    ]
+
+(* Post-reply accounting: the request latency metric, the SLO account,
+   the slow-query record and — once the record no longer needs them —
+   pruning the request's spans from the shared log. *)
+let finish_request t ~trace_id ~view ~strategy ~reduce ~ms ~gc0 reply =
+  if Obs.Span.tracing () then
+    Obs.Metrics.observe ~bounds:Obs.Metrics.duration_bounds "server.request.ms"
+      ms;
+  (match t.slo with
+  | Some slo ->
+      let error =
+        match reply with
+        | Protocol.Failed _ | Protocol.Rejected _ -> true
+        | _ -> false
+      in
+      Obs.Slo.record slo ~error
+        ~now_ms:(Obs.Clock.ns_to_ms (Obs.Clock.now_ns ()))
+        ms
+  | None -> ());
+  if t.cfg.slow_ms > 0.0 && ms >= t.cfg.slow_ms then begin
+    bump (fun c -> { c with slow = c.slow + 1 }) t;
+    let gc1 = Gc.quick_stat () in
+    let record =
+      slow_record t ~trace_id ~view ~strategy ~reduce ~ms ~gc0 ~gc1 reply
+    in
+    (match t.slowlog with
+    | Some log -> ignore (Slowlog.write log record)
+    | None -> ());
+    Obs.Event.warn "server.slow_query"
+      ~attrs:
+        [
+          Obs.Attr.float "ms" ms;
+          Obs.Attr.float "threshold_ms" t.cfg.slow_ms;
+          Obs.Attr.string "reply" (Protocol.reply_name reply);
+        ]
+  end;
+  if not t.cfg.retain_spans then Obs.Span.prune (span_of_trace trace_id)
+
 let query t ~view ~strategy ~reduce =
   bump (fun c -> { c with queries = c.queries + 1 }) t;
   if Atomic.get t.closed then Protocol.Failed "server is shut down"
-  else
-    Obs.Span.with_span "server.request" (fun () ->
-        try
-          let strat = strategy_of_string strategy in
-          if Obs.Span.tracing () then
-            Obs.Span.add_list
-              [
-                Obs.Attr.string "strategy" (strategy_key strat);
-                Obs.Attr.bool "reduce" reduce;
-              ];
-          let p, statement_hit = statement_of t view in
-          let digest = view_digest view in
-          let epoch = Atomic.get t.epoch in
-          let pe, plan_hit =
-            plan_of t p ~digest ~strategy:strat ~reduce ~epoch
-          in
-          let tiers hit =
-            { Protocol.statement_hit; plan_hit; result_hit = hit }
-          in
-          let rkey = result_key ~digest ~mask:pe.pe_mask ~reduce ~epoch in
-          match Lru.find t.results rkey with
-          | Some r ->
-              tier_metric "result" true;
-              if Obs.Span.tracing () then
-                Obs.Span.add_list
-                  [
-                    Obs.Attr.bool "cache.result" true;
-                    Obs.Attr.int "bytes" (String.length r.rx_xml);
-                  ];
-              Protocol.Result
-                {
-                  xml = r.rx_xml;
-                  tiers = tiers true;
-                  work = 0;
-                  est_cost = pe.pe_est_cost;
-                }
-          | None -> (
-              tier_metric "result" false;
-              match admit t pe.pe_est_cost with
-              | Error reason ->
-                  bump (fun c -> { c with rejected = c.rejected + 1 }) t;
-                  if Obs.Span.tracing () then begin
-                    Obs.Span.add "admission" (Obs.Attr.String "rejected");
-                    Obs.Event.warn "server.admission.reject"
-                      ~attrs:
-                        [
-                          Obs.Attr.string "reason" reason;
-                          Obs.Attr.float "est_cost" pe.pe_est_cost;
-                        ]
-                  end;
-                  Protocol.Rejected reason
-              | Ok had_to_queue ->
-                  bump
-                    (fun c ->
-                      {
-                        c with
-                        admitted = c.admitted + 1;
-                        queued = (c.queued + if had_to_queue then 1 else 0);
-                      })
-                    t;
-                  if Obs.Span.tracing () then begin
-                    Obs.Span.add "admission"
-                      (Obs.Attr.String
-                         (if had_to_queue then "queued" else "admitted"));
-                    if had_to_queue then
-                      Obs.Event.debug "server.admission.queued"
-                        ~attrs:[ Obs.Attr.float "est_cost" pe.pe_est_cost ]
-                  end;
-                  let partition =
-                    S.Partition.of_mask p.S.Middleware.tree pe.pe_mask
-                  in
-                  let xml, work =
-                    Fun.protect
-                      ~finally:(release t pe.pe_est_cost)
-                      (fun () -> execute_on_pool t p partition ~reduce)
-                  in
-                  Lru.add ~weight:(String.length xml) t.results rkey
-                    { rx_xml = xml; rx_work = work };
-                  bump
-                    (fun c ->
-                      { c with executed_work = c.executed_work + work })
-                    t;
-                  if Obs.Span.tracing () then
-                    Obs.Span.add_list
-                      [
-                        Obs.Attr.int "work" work;
-                        Obs.Attr.int "bytes" (String.length xml);
-                      ];
-                  Protocol.Result
-                    {
-                      xml;
-                      tiers = tiers false;
-                      work;
-                      est_cost = pe.pe_est_cost;
-                    })
-        with e ->
-          bump (fun c -> { c with failed = c.failed + 1 }) t;
-          let msg =
-            match e with Invalid_argument m -> m | e -> Printexc.to_string e
-          in
-          if Obs.Span.tracing () then
-            Obs.Event.error "server.request.failed"
-              ~attrs:[ Obs.Attr.string "error" msg ];
-          Protocol.Failed msg)
+  else begin
+    let trace_id, sampled = next_trace t in
+    let want_timing =
+      t.cfg.slow_ms > 0.0 || Option.is_some t.slo || Obs.Control.is_enabled ()
+    in
+    if not want_timing then query_body t ~view ~strategy ~reduce
+    else begin
+      let gc0 = if t.cfg.slow_ms > 0.0 then Some (Gc.quick_stat ()) else None in
+      let t0 = Obs.Clock.now_ns () in
+      let reply =
+        Obs.Span.with_base_attrs
+          [ Obs.Attr.string "trace_id" trace_id ]
+          (fun () ->
+            Obs.Span.with_sampling sampled (fun () ->
+                query_body t ~view ~strategy ~reduce))
+      in
+      let ms = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t0) in
+      let gc0 = match gc0 with Some g -> g | None -> Gc.quick_stat () in
+      finish_request t ~trace_id ~view ~strategy ~reduce ~ms ~gc0 reply;
+      reply
+    end
+  end
 
 (* --- invalidation ------------------------------------------------------- *)
 
@@ -436,9 +629,10 @@ let invalidate ?skew t =
 let render_tier (s : Lru.stats) name =
   Printf.sprintf
     "%s: hits=%d misses=%d insertions=%d evictions=%d flushes=%d entries=%d \
-     weight=%d"
+     weight=%d hit_ratio=%.3f"
     name s.Lru.hits s.Lru.misses s.Lru.insertions s.Lru.evictions s.Lru.flushes
     s.Lru.entries s.Lru.weight
+    (Lru.ratio_of ~hits:s.Lru.hits ~misses:s.Lru.misses)
 
 let render_stats t =
   let c = counters t in
@@ -447,13 +641,119 @@ let render_stats t =
     [
       Printf.sprintf
         "server: requests=%d queries=%d admitted=%d queued=%d rejected=%d \
-         failed=%d invalidations=%d epoch=%d work=%d"
+         failed=%d invalidations=%d slow=%d epoch=%d work=%d"
         c.requests c.queries c.admitted c.queued c.rejected c.failed
-        c.invalidations (stats_epoch t) c.executed_work;
+        c.invalidations c.slow (stats_epoch t) c.executed_work;
       render_tier st "statement";
       render_tier pl "plan";
       render_tier re "result";
     ]
+
+(* --- telemetry exposition ------------------------------------------------ *)
+
+(* Curated series first (service counters, cache tiers, admission, pool,
+   slow log, SLO), then the whole metrics registry through one
+   consistent snapshot.  Cache hit ratios are derived from the same
+   Lru.stats read as the hit/miss counters — Lru.ratio_of is the one
+   formula this, [render_stats] and the tests share. *)
+let exposition_samples t =
+  let sample = Obs.Expose.sample in
+  let c = counters t in
+  let counter ?labels name v =
+    sample ?labels Obs.Expose.Counter name (float_of_int v)
+  in
+  let gauge ?labels name v = sample ?labels Obs.Expose.Gauge name v in
+  let server =
+    [
+      gauge "silkroute_uptime_seconds" (uptime_s t);
+      gauge "silkroute_stats_epoch" (float_of_int (stats_epoch t));
+      counter "silkroute_server_requests_total" c.requests;
+      counter "silkroute_server_queries_total" c.queries;
+      counter "silkroute_server_admitted_total" c.admitted;
+      counter "silkroute_server_queued_total" c.queued;
+      counter "silkroute_server_rejected_total" c.rejected;
+      counter "silkroute_server_failed_total" c.failed;
+      counter "silkroute_server_invalidations_total" c.invalidations;
+      counter "silkroute_server_executed_work_total" c.executed_work;
+      counter "silkroute_server_slow_queries_total" c.slow;
+    ]
+  in
+  let tier name (s : Lru.stats) =
+    let labels = [ ("tier", name) ] in
+    [
+      counter ~labels "silkroute_cache_hits_total" s.Lru.hits;
+      counter ~labels "silkroute_cache_misses_total" s.Lru.misses;
+      counter ~labels "silkroute_cache_insertions_total" s.Lru.insertions;
+      counter ~labels "silkroute_cache_evictions_total" s.Lru.evictions;
+      counter ~labels "silkroute_cache_flushes_total" s.Lru.flushes;
+      gauge ~labels "silkroute_cache_entries" (float_of_int s.Lru.entries);
+      gauge ~labels "silkroute_cache_weight" (float_of_int s.Lru.weight);
+      gauge ~labels "silkroute_cache_hit_ratio"
+        (Lru.ratio_of ~hits:s.Lru.hits ~misses:s.Lru.misses);
+    ]
+  in
+  let st, pl, re = tier_stats t in
+  let tiers = tier "statement" st @ tier "plan" pl @ tier "result" re in
+  let in_flight, waiting = admission_account t in
+  let admission =
+    [
+      gauge "silkroute_admission_in_flight_work" in_flight;
+      gauge "silkroute_admission_waiting" (float_of_int waiting);
+      gauge "silkroute_pool_queue_depth"
+        (float_of_int (R.Domain_pool.queue_depth t.pool));
+      gauge "silkroute_pool_domains" (float_of_int t.cfg.domains);
+    ]
+  in
+  let slowlog_samples =
+    match t.slowlog with
+    | None -> []
+    | Some log ->
+        [
+          counter "silkroute_slowlog_written_total" (Slowlog.written log);
+          counter "silkroute_slowlog_dropped_total" (Slowlog.dropped log);
+        ]
+  in
+  let slo_samples =
+    match t.slo with
+    | None -> []
+    | Some slo ->
+        let s =
+          Obs.Slo.snapshot slo ~now_ms:(Obs.Clock.ns_to_ms (Obs.Clock.now_ns ()))
+        in
+        [
+          gauge "silkroute_slo_samples" (float_of_int s.Obs.Slo.samples);
+          gauge "silkroute_slo_errors" (float_of_int s.Obs.Slo.errors);
+          gauge "silkroute_slo_error_rate" s.Obs.Slo.error_rate;
+          gauge "silkroute_slo_p50_ms" s.Obs.Slo.p50_ms;
+          gauge "silkroute_slo_p90_ms" s.Obs.Slo.p90_ms;
+          gauge "silkroute_slo_p99_ms" s.Obs.Slo.p99_ms;
+          gauge "silkroute_slo_burn_rate" s.Obs.Slo.burn_rate;
+          gauge "silkroute_slo_breached"
+            (if s.Obs.Slo.breached then 1.0 else 0.0);
+        ]
+  in
+  server @ tiers @ admission @ slowlog_samples @ slo_samples
+  @ Obs.Expose.of_metrics ()
+
+let render_exposition t = Obs.Expose.render (exposition_samples t)
+
+let render_health t =
+  let in_flight, waiting = admission_account t in
+  let breached =
+    match t.slo with
+    | Some slo ->
+        (Obs.Slo.snapshot slo
+           ~now_ms:(Obs.Clock.ns_to_ms (Obs.Clock.now_ns ())))
+          .Obs.Slo.breached
+    | None -> false
+  in
+  Printf.sprintf
+    "status=%s uptime_s=%.1f epoch=%d requests=%d queue_depth=%d \
+     in_flight=%.1f waiting=%d slo_breached=%b"
+    (if Atomic.get t.closed then "closing" else "ok")
+    (uptime_s t) (stats_epoch t) (counters t).requests
+    (R.Domain_pool.queue_depth t.pool)
+    in_flight waiting breached
 
 (* --- lifecycle / protocol ------------------------------------------------ *)
 
@@ -462,7 +762,8 @@ let shutdown t =
     (* wake queued admissions so their sessions can fail out *)
     Mutex.protect t.adm_m (fun () -> ());
     Condition.broadcast t.adm_cv;
-    R.Domain_pool.shutdown t.pool
+    R.Domain_pool.shutdown t.pool;
+    match t.slowlog with Some log -> Slowlog.close log | None -> ()
   end
 
 let handle t req =
@@ -489,6 +790,8 @@ let handle t req =
               bump (fun c -> { c with failed = c.failed + 1 }) t;
               Protocol.Failed msg))
   | Protocol.Stats -> Protocol.Info (render_stats t)
+  | Protocol.Metrics -> Protocol.Info (render_exposition t)
+  | Protocol.Health -> Protocol.Info (render_health t)
   | Protocol.Shutdown ->
       shutdown t;
       Protocol.Info "shutting down"

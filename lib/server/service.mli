@@ -26,6 +26,15 @@
     is rejected when the queue is full.  Result-cache hits bypass
     admission entirely — that is the point of the cache.
 
+    {b Telemetry}: every query gets a trace id installed as a span base
+    attribute, so all spans and events it produces — including those
+    from pool worker domains — carry it.  [trace_sample] head-samples
+    which requests record spans; metrics, events, SLO accounting and the
+    slow-query log are never sampled.  Queries slower than [slow_ms]
+    append a structured JSONL record through the bounded non-blocking
+    {!Slowlog}.  The [M]/[H] protocol requests serve the Prometheus-style
+    exposition ({!render_exposition}) and a one-line health summary.
+
     Cached and uncached paths return byte-identical XML: the result tier
     stores exactly the bytes the uncached path produced. *)
 
@@ -41,9 +50,28 @@ type config = {
       (** executor vector size for every served query; 0 = tuple path.
           Output bytes are identical either way, so cache entries are
           valid across the switch. *)
+  trace_sample : int;
+      (** head sampling: record spans for 1 in N queries.  [1] traces
+          every request (the default), [0] none; sampled-out requests
+          still produce metrics, events and SLO samples. *)
+  slow_ms : float;
+      (** queries slower than this log a slow-query record and count in
+          [counters.slow]; [0] disables the slow path entirely. *)
+  slow_log : string option;
+      (** JSONL file receiving slow-query records (requires
+          [slow_ms > 0]); [None] keeps the counter and event only. *)
+  slo : Obs.Slo.config option;  (** enable rolling SLO accounting *)
+  retain_spans : bool;
+      (** keep each request's spans in the shared log after serving it.
+          The long-running server sets this [false] so the span log
+          stays bounded; tests keep the default [true] to inspect spans
+          after the fact. *)
 }
 
 val default_config : config
+(** Telemetry defaults preserve the pre-telemetry behavior:
+    [trace_sample = 1], [slow_ms = 0.], no slow log, no SLO,
+    [retain_spans = true]. *)
 
 (** What admission control decided for one query. *)
 type admission = Admit | Queue | Reject of string
@@ -59,15 +87,17 @@ type t
 
 val create : ?config:config -> Relational.Database.t -> t
 (** Analyzes the database once (the shared catalog all estimates and
-    epochs refer to) and starts the worker pool. *)
+    epochs refer to), starts the worker pool, and — when configured —
+    opens the slow log and the SLO tracker. *)
 
 val config : t -> config
 val stats_epoch : t -> int
 
 val query :
   t -> view:string -> strategy:string -> reduce:bool -> Protocol.reply
-(** Runs one query through the tiers + admission + pool.  Thread-safe;
-    blocks while queued.  [strategy] is [unified], [partitioned],
+(** Runs one query through the tiers + admission + pool, wrapped in its
+    trace context (see the module docs).  Thread-safe; blocks while
+    queued.  [strategy] is [unified], [partitioned],
     [fully-partitioned], [greedy] or [edges:MASK]. *)
 
 val invalidate : ?skew:string * float -> t -> unit
@@ -77,7 +107,7 @@ val invalidate : ?skew:string * float -> t -> unit
 
 val handle : t -> Protocol.request -> Protocol.reply
 (** Full protocol dispatcher: {!query} / {!invalidate} / stats report /
-    shutdown acknowledgement. *)
+    telemetry exposition / health summary / shutdown acknowledgement. *)
 
 (** Scheduler counters (cache-tier counters live in {!tier_stats}). *)
 type counters = {
@@ -89,6 +119,7 @@ type counters = {
   failed : int;
   invalidations : int;
   executed_work : int;  (** engine work spent on uncached executions *)
+  slow : int;  (** queries that exceeded [slow_ms] *)
 }
 
 val counters : t -> counters
@@ -96,11 +127,26 @@ val counters : t -> counters
 val tier_stats : t -> Lru.stats * Lru.stats * Lru.stats
 (** (statement, plan, result). *)
 
+val slowlog : t -> Slowlog.t option
+val slo : t -> Obs.Slo.t option
+val uptime_s : t -> float
+
 val render_stats : t -> string
 (** Human-readable counter report (also served over the protocol). *)
 
+val render_exposition : t -> string
+(** The Prometheus-style text exposition the [M] protocol request
+    serves: service counters, per-tier cache series (hit ratios from the
+    same snapshot as the counters), admission/pool gauges, slow-log and
+    SLO series, then the whole metrics registry through one consistent
+    {!Obs.Metrics.snapshot}. *)
+
+val render_health : t -> string
+(** One-line liveness summary the [H] protocol request serves. *)
+
 val shutdown : t -> unit
-(** Drains the worker pool; later queries fail.  Idempotent. *)
+(** Drains the worker pool and closes the slow log; later queries fail.
+    Idempotent. *)
 
 val serve_unix : ?session_threads:bool -> t -> socket:string -> unit
 (** Binds a Unix-domain socket at [socket] and serves sessions until a

@@ -74,6 +74,10 @@ type tally = {
   bytes : int;
   mismatches : string list;
   errors : string list;
+  lat_samples : int;
+  lat_p50_ms : float;
+  lat_p90_ms : float;
+  lat_p99_ms : float;
 }
 
 let empty_tally =
@@ -90,7 +94,21 @@ let empty_tally =
     bytes = 0;
     mismatches = [];
     errors = [];
+    lat_samples = 0;
+    lat_p50_ms = 0.0;
+    lat_p90_ms = 0.0;
+    lat_p99_ms = 0.0;
   }
+
+(* Exact nearest-rank percentile over the measured samples — the
+   workload holds every latency, so no histogram approximation is
+   needed (unlike the registry's bucketed estimates). *)
+let percentile_of_sorted a q =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else
+    let i = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+    a.(max 0 (min (n - 1) i))
 
 (* The transport-agnostic replay core: scripts plus a thread-safe
    recorder.  Transports drive iteration themselves (sequential
@@ -112,8 +130,14 @@ let recorder ~views ~verify cfg =
       views;
   let m = Mutex.create () in
   let t = ref empty_tally in
+  let lats = ref [] in
   let bump f = Mutex.protect m (fun () -> t := f !t) in
-  let record client i req reply =
+  let record client i req ~ms reply =
+    (* measured wall-clock per request: every [Query] round trip counts,
+       whatever the reply — rejections and failures take real time too *)
+    (match req with
+    | Protocol.Query _ -> Mutex.protect m (fun () -> lats := ms :: !lats)
+    | _ -> ());
     match (req, reply) with
     | ( Protocol.Query { view; strategy; _ },
         Protocol.Result { xml = got; tiers; work; _ } ) ->
@@ -177,13 +201,29 @@ let recorder ~views ~verify cfg =
             })
   in
   let finish () =
-    let t = Mutex.protect m (fun () -> !t) in
-    { t with mismatches = List.rev t.mismatches; errors = List.rev t.errors }
+    let t, lats = Mutex.protect m (fun () -> (!t, !lats)) in
+    let sorted = Array.of_list lats in
+    Array.sort compare sorted;
+    {
+      t with
+      mismatches = List.rev t.mismatches;
+      errors = List.rev t.errors;
+      lat_samples = Array.length sorted;
+      lat_p50_ms = percentile_of_sorted sorted 0.50;
+      lat_p90_ms = percentile_of_sorted sorted 0.90;
+      lat_p99_ms = percentile_of_sorted sorted 0.99;
+    }
   in
   (script ~views cfg, record, finish)
 
 let run_client scripts record client send =
-  Array.iteri (fun i req -> record client i req (send req)) scripts.(client)
+  Array.iteri
+    (fun i req ->
+      let t0 = Obs.Clock.now_ns () in
+      let reply = send req in
+      let ms = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t0) in
+      record client i req ~ms reply)
+    scripts.(client)
 
 let run_direct ?(threads = false) ?(verify = true) server ~views cfg =
   let scripts, record, finish = recorder ~views ~verify cfg in
@@ -203,7 +243,13 @@ let run_direct ?(threads = false) ?(verify = true) server ~views cfg =
     in
     for i = 0 to longest - 1 do
       Array.iteri
-        (fun c ops -> if i < Array.length ops then record c i ops.(i) (send ops.(i)))
+        (fun c ops ->
+          if i < Array.length ops then begin
+            let t0 = Obs.Clock.now_ns () in
+            let reply = send ops.(i) in
+            let ms = Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) t0) in
+            record c i ops.(i) ~ms reply
+          end)
         scripts
     done
   end;
@@ -251,6 +297,8 @@ let render t =
       Printf.sprintf "hits: statement=%d plan=%d result=%d" t.statement_hits
         t.plan_hits t.result_hits;
       Printf.sprintf "volume: work=%d bytes=%d" t.work t.bytes;
+      Printf.sprintf "latency: samples=%d p50=%.2fms p90=%.2fms p99=%.2fms"
+        t.lat_samples t.lat_p50_ms t.lat_p90_ms t.lat_p99_ms;
       Printf.sprintf "identity: mismatches=%d%s" (List.length t.mismatches)
         (match t.mismatches with [] -> "" | m :: _ -> " first=" ^ m);
       (match t.errors with

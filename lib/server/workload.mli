@@ -62,6 +62,12 @@ type tally = {
       (** byte-identity violations — must be [[]]; each entry names
           client, request index, view and strategy *)
   errors : string list;  (** [Failed] reply messages, deduplicated *)
+  lat_samples : int;
+      (** measured per-request wall-clock samples — one per [Query]
+          round trip, whatever the reply *)
+  lat_p50_ms : float;  (** exact nearest-rank percentiles, 0 when empty *)
+  lat_p90_ms : float;
+  lat_p99_ms : float;
 }
 
 val run_direct :

@@ -46,6 +46,7 @@ let () =
       ("batch", Test_batch.suite);
       qcheck "batch:props" Test_batch.props;
       ("server", Test_server.suite);
+      ("telemetry", Test_telemetry.suite);
       ("obs", Test_obs.suite);
       ("profile", Test_profile.suite);
       ("event+diagnose", Test_event.suite);

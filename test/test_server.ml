@@ -78,6 +78,23 @@ let test_lru_peek_counts_nothing () =
   Alcotest.(check int) "no hits" 0 s.Lru.hits;
   Alcotest.(check int) "no misses" 0 s.Lru.misses
 
+let test_lru_hit_ratio () =
+  (* the exposition's gauge arithmetic, pinned *)
+  Alcotest.(check (float 0.0)) "0/0 is 0" 0.0 (Lru.ratio_of ~hits:0 ~misses:0);
+  Alcotest.(check (float 0.0)) "3/1 is .75" 0.75 (Lru.ratio_of ~hits:3 ~misses:1);
+  Alcotest.(check (float 0.0)) "all misses" 0.0 (Lru.ratio_of ~hits:0 ~misses:7);
+  Alcotest.(check (float 0.0)) "all hits" 1.0 (Lru.ratio_of ~hits:5 ~misses:0);
+  let c = Lru.create ~name:"t" ~capacity:2 () in
+  Lru.add c "a" 1;
+  ignore (Lru.find c "a");
+  ignore (Lru.find c "a");
+  ignore (Lru.find c "b");
+  Alcotest.(check (float 1e-9)) "live accessor" (2.0 /. 3.0) (Lru.hit_ratio c);
+  let s = Lru.stats c in
+  Alcotest.(check (float 1e-9)) "accessor agrees with stats"
+    (Lru.ratio_of ~hits:s.Lru.hits ~misses:s.Lru.misses)
+    (Lru.hit_ratio c)
+
 (* --- admission decision ------------------------------------------------- *)
 
 let admission =
@@ -159,6 +176,8 @@ let test_protocol_roundtrip () =
       Protocol.Invalidate { table = "Supplier"; factor = 4.5 };
       Protocol.Invalidate { table = ""; factor = 1.0 };
       Protocol.Stats;
+      Protocol.Metrics;
+      Protocol.Health;
       Protocol.Shutdown;
     ]
   in
@@ -217,7 +236,24 @@ let test_protocol_malformed () =
   in
   Alcotest.check_raises "truncated frame"
     (Protocol.Protocol_error "truncated frame (missing field length)")
-    (fun () -> ignore (read_garbage truncated))
+    (fun () -> ignore (read_garbage truncated));
+  (* telemetry requests are bare tags: a frame smuggling extra fields
+     after "M" (or "H") must be refused, not silently accepted *)
+  let overloaded tag =
+    let b = Buffer.create 16 in
+    Buffer.add_string b "\x00\x00\x00\x02";
+    Buffer.add_string b ("\x00\x00\x00\x01" ^ tag);
+    Buffer.add_string b "\x00\x00\x00\x01x";
+    Buffer.contents b
+  in
+  List.iter
+    (fun tag ->
+      Alcotest.check_raises
+        ("oversized telemetry request " ^ tag)
+        (Protocol.Protocol_error
+           (Printf.sprintf "telemetry request %S takes no fields" tag))
+        (fun () -> ignore (read_garbage (overloaded tag))))
+    [ "M"; "H" ]
 
 (* --- cache tiers through the server ------------------------------------- *)
 
@@ -340,6 +376,101 @@ let test_shutdown_idempotent () =
   | r -> Alcotest.failf "expected failure after shutdown, got %s"
            (Protocol.reply_name r)
 
+(* --- telemetry ----------------------------------------------------------- *)
+
+let contains msg needle =
+  let n = String.length needle and m = String.length msg in
+  let rec search i = i + n <= m && (String.sub msg i n = needle || search (i + 1)) in
+  search 0
+
+let test_telemetry_endpoints () =
+  let slow_log = Filename.temp_file "silkroute_slow" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove slow_log) @@ fun () ->
+  let config =
+    {
+      Service.default_config with
+      (* any real query takes longer than a nanosecond: the slow path
+         and its log fire on the very first request *)
+      Service.slow_ms = 1e-6;
+      slow_log = Some slow_log;
+      slo = Some Obs.Slo.default_config;
+    }
+  in
+  with_server ~config (fun t ->
+      ignore
+        (Service.query t ~view:S.Queries.fragment_text ~strategy:"unified"
+           ~reduce:false);
+      (match Service.handle t Protocol.Metrics with
+      | Protocol.Info text ->
+          let parsed = Obs.Expose.parse text in
+          let get name =
+            match Obs.Expose.find parsed name with
+            | Some v -> v
+            | None -> Alcotest.failf "exposition is missing %s" name
+          in
+          Alcotest.(check (float 0.0)) "one query served" 1.0
+            (get "silkroute_server_queries_total");
+          Alcotest.(check bool) "uptime advances" true
+            (get "silkroute_uptime_seconds" >= 0.0);
+          Alcotest.(check bool) "tier gauge present" true
+            (Obs.Expose.find parsed
+               "silkroute_cache_hit_ratio{tier=\"statement\"}"
+            <> None);
+          Alcotest.(check (float 0.0)) "slow query logged" 1.0
+            (get "silkroute_server_slow_queries_total");
+          Alcotest.(check (float 0.0)) "slow record accepted" 1.0
+            (get "silkroute_slowlog_written_total");
+          Alcotest.(check (float 0.0)) "no slow-log drops" 0.0
+            (get "silkroute_slowlog_dropped_total");
+          Alcotest.(check (float 0.0)) "slo saw the request" 1.0
+            (get "silkroute_slo_samples");
+          (* families carry their TYPE declarations *)
+          Alcotest.(check (option string)) "counter family typed"
+            (Some "counter")
+            (List.assoc_opt "silkroute_server_queries_total"
+               parsed.Obs.Expose.types)
+      | r -> Alcotest.failf "expected Info, got %s" (Protocol.reply_name r));
+      match Service.handle t Protocol.Health with
+      | Protocol.Info line ->
+          Alcotest.(check bool) "health says ok" true
+            (contains line "status=ok");
+          Alcotest.(check bool) "health counts requests" true
+            (contains line "requests=")
+      | r -> Alcotest.failf "expected Info, got %s" (Protocol.reply_name r))
+
+let request_spans () =
+  List.filter
+    (fun (s : Obs.Span.t) -> s.Obs.Span.name = "server.request")
+    (Obs.Span.spans ())
+
+let test_sampled_out_still_answers () =
+  (* head sampling gates spans only: a sampled-out request must return
+     the same bytes and still count in the scheduler counters *)
+  Obs.Control.with_enabled true (fun () ->
+      Fun.protect ~finally:Obs.Span.reset (fun () ->
+          Obs.Span.reset ();
+          let reference =
+            with_server (fun t ->
+                xml_of
+                  (Service.query t ~view:S.Queries.fragment_text
+                     ~strategy:"unified" ~reduce:false))
+          in
+          Alcotest.(check bool) "traced control records a span" true
+            (request_spans () <> []);
+          Obs.Span.reset ();
+          let config = { Service.default_config with Service.trace_sample = 0 } in
+          with_server ~config (fun t ->
+              let xml =
+                xml_of
+                  (Service.query t ~view:S.Queries.fragment_text
+                     ~strategy:"unified" ~reduce:false)
+              in
+              Alcotest.(check string) "same bytes" reference xml;
+              Alcotest.(check int) "zero request spans" 0
+                (List.length (request_spans ()));
+              Alcotest.(check int) "query still counted" 1
+                (Service.counters t).Service.queries)))
+
 (* --- workload driver ----------------------------------------------------- *)
 
 let small_mix =
@@ -434,11 +565,6 @@ let test_workload_socket_roundtrip () =
 
 (* --- latent-bug regressions ---------------------------------------------- *)
 
-let contains msg needle =
-  let n = String.length needle and m = String.length msg in
-  let rec search i = i + n <= m && (String.sub msg i n = needle || search (i + 1)) in
-  search 0
-
 let test_tagger_empty_sfi_error () =
   let db = Lazy.force db in
   let p = S.Middleware.prepare_text db S.Queries.fragment_text in
@@ -514,6 +640,7 @@ let suite =
     Alcotest.test_case "lru: weights" `Quick test_lru_weights;
     Alcotest.test_case "lru: clear + disabled" `Quick test_lru_clear_and_disabled;
     Alcotest.test_case "lru: peek" `Quick test_lru_peek_counts_nothing;
+    Alcotest.test_case "lru: hit ratio" `Quick test_lru_hit_ratio;
     Alcotest.test_case "admission: decision table" `Quick test_admission_decision;
     Alcotest.test_case "admission: oversized rejected" `Quick
       test_admission_oversized_end_to_end;
@@ -525,6 +652,10 @@ let suite =
     Alcotest.test_case "invalidation: stats epoch" `Quick test_epoch_invalidation;
     Alcotest.test_case "bad inputs fail cleanly" `Quick test_bad_inputs_fail_cleanly;
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "telemetry: metrics + health endpoints" `Quick
+      test_telemetry_endpoints;
+    Alcotest.test_case "telemetry: sampled-out request still answers" `Quick
+      test_sampled_out_still_answers;
     Alcotest.test_case "workload: deterministic script" `Quick
       test_workload_script_deterministic;
     Alcotest.test_case "workload: identity + warmth" `Quick

@@ -1,0 +1,355 @@
+(* The telemetry layer added for the live server: exposition
+   render/parse round trips, the rolling SLO tracker under a scripted
+   clock, the bounded slow-log writer, trace-id propagation through the
+   worker pool, and a multi-domain stress on the metrics registry. *)
+
+open Server
+module E = Obs.Expose
+
+let db = lazy (Tpch.Gen.generate (Tpch.Gen.config 0.05))
+
+let with_obs f =
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  Obs.Event.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.reset ();
+      Obs.Metrics.reset ();
+      Obs.Event.reset ())
+    (fun () -> Obs.Control.with_enabled true f)
+
+(* --- exposition --------------------------------------------------------- *)
+
+let test_expose_roundtrip () =
+  let samples =
+    [
+      E.sample E.Counter "requests_total" 42.0;
+      E.sample ~labels:[ ("tier", "plan"); ("op", "find") ] E.Counter
+        "cache_hits_total" 7.0;
+      E.sample E.Gauge "queue_depth" 3.5;
+      E.sample ~labels:[ ("quantile", "0.5") ] E.Summary "request_ms" 1.25;
+      E.sample ~labels:[ ("quantile", "0.99") ] E.Summary "request_ms" 9.0;
+      E.sample E.Summary "request_ms_sum" 10.25;
+      E.sample E.Summary "request_ms_count" 2.0;
+    ]
+  in
+  let text = E.render samples in
+  let parsed = E.parse text in
+  (* every sample comes back, in order, under key_of's exact syntax *)
+  Alcotest.(check int) "all samples parsed" (List.length samples)
+    (List.length parsed.E.values);
+  List.iter2
+    (fun s (key, v) ->
+      Alcotest.(check string) "key" (E.key_of s) key;
+      Alcotest.(check (float 0.0)) ("value of " ^ key) s.E.s_value v)
+    samples parsed.E.values;
+  Alcotest.(check (option (float 0.0))) "labeled lookup" (Some 7.0)
+    (E.find parsed "cache_hits_total{tier=\"plan\",op=\"find\"}");
+  Alcotest.(check (option string)) "counter family" (Some "counter")
+    (List.assoc_opt "requests_total" parsed.E.types);
+  (* the summary's _sum/_count share one family with its quantiles *)
+  Alcotest.(check (option string)) "summary family" (Some "summary")
+    (List.assoc_opt "request_ms" parsed.E.types);
+  Alcotest.(check (option string)) "no _sum family" None
+    (List.assoc_opt "request_ms_sum" parsed.E.types)
+
+let test_expose_sanitize_and_errors () =
+  Alcotest.(check string) "dots fold" "server_request_ms"
+    (E.sanitize "server.request.ms");
+  Alcotest.(check string) "colons survive" "a:b_c" (E.sanitize "a:b c");
+  (match E.parse "nonsense line here" with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception E.Parse_error _ -> ());
+  (match E.parse "# TYPE x sousaphone\nx 1\n" with
+  | _ -> Alcotest.fail "expected Parse_error on unknown kind"
+  | exception E.Parse_error _ -> ());
+  match E.parse "x notanumber\n" with
+  | _ -> Alcotest.fail "expected Parse_error on bad value"
+  | exception E.Parse_error _ -> ()
+
+let test_expose_of_metrics () =
+  with_obs (fun () ->
+      Obs.Metrics.incr ~by:3 "stress.counter";
+      Obs.Metrics.set_gauge "stress.gauge" 2.5;
+      Obs.Metrics.observe "stress.lat" 5.0;
+      Obs.Metrics.observe "stress.lat" 15.0;
+      let parsed = E.parse (E.render (E.of_metrics ())) in
+      Alcotest.(check (option (float 0.0))) "counter" (Some 3.0)
+        (E.find parsed "silkroute_stress_counter_total");
+      Alcotest.(check (option (float 0.0))) "gauge" (Some 2.5)
+        (E.find parsed "silkroute_stress_gauge");
+      Alcotest.(check (option (float 0.0))) "summary count" (Some 2.0)
+        (E.find parsed "silkroute_stress_lat_count");
+      Alcotest.(check (option (float 0.0))) "summary sum" (Some 20.0)
+        (E.find parsed "silkroute_stress_lat_sum");
+      Alcotest.(check bool) "p99 sample present" true
+        (E.find parsed "silkroute_stress_lat{quantile=\"0.99\"}" <> None))
+
+(* --- SLO tracker --------------------------------------------------------- *)
+
+let slo_config =
+  {
+    Obs.Slo.window_ms = 1_000.0;
+    windows = 4;
+    target_p99_ms = 100.0;
+    max_error_rate = 0.10;
+  }
+
+let events_named name =
+  List.filter (fun (e : Obs.Event.t) -> e.Obs.Event.name = name)
+    (Obs.Event.events ())
+
+let test_slo_burn_and_recover () =
+  with_obs (fun () ->
+      let t = Obs.Slo.create ~config:slo_config () in
+      (* healthy traffic: well under the p99 target *)
+      for i = 0 to 99 do
+        Obs.Slo.record t ~now_ms:(float_of_int i) 10.0
+      done;
+      let s = Obs.Slo.snapshot t ~now_ms:99.0 in
+      Alcotest.(check int) "samples" 100 s.Obs.Slo.samples;
+      Alcotest.(check bool) "not breached" false s.Obs.Slo.breached;
+      Alcotest.(check int) "no burn event" 0 (List.length (events_named "slo.burn"));
+      (* sustained slowness pushes p99 past the target: exactly one
+         edge-triggered burn event, however long the breach lasts *)
+      for i = 100 to 299 do
+        Obs.Slo.record t ~now_ms:(float_of_int i) 500.0
+      done;
+      let s = Obs.Slo.snapshot t ~now_ms:299.0 in
+      Alcotest.(check bool) "breached" true s.Obs.Slo.breached;
+      Alcotest.(check bool) "burn rate over 1" true (s.Obs.Slo.burn_rate > 1.0);
+      Alcotest.(check int) "one burn event" 1 (List.length (events_named "slo.burn"));
+      (* fast traffic again, far enough ahead that the slow windows have
+         slid out of the ring: one recovery event *)
+      for i = 0 to 199 do
+        Obs.Slo.record t ~now_ms:(10_000.0 +. float_of_int i) 10.0
+      done;
+      let s = Obs.Slo.snapshot t ~now_ms:10_199.0 in
+      Alcotest.(check bool) "recovered" false s.Obs.Slo.breached;
+      Alcotest.(check int) "slow windows recycled" 200 s.Obs.Slo.samples;
+      Alcotest.(check int) "one recovery event" 1
+        (List.length (events_named "slo.recover")))
+
+let test_slo_error_budget () =
+  with_obs (fun () ->
+      let t = Obs.Slo.create ~config:slo_config () in
+      (* 20% errors against a 10% budget: the error burn alone breaches,
+         even though every latency sample is fast *)
+      for i = 0 to 79 do
+        Obs.Slo.record t ~now_ms:(float_of_int i) 1.0
+      done;
+      for i = 80 to 99 do
+        Obs.Slo.record t ~error:true ~now_ms:(float_of_int i) 0.0
+      done;
+      let s = Obs.Slo.snapshot t ~now_ms:99.0 in
+      Alcotest.(check int) "errors" 20 s.Obs.Slo.errors;
+      Alcotest.(check (float 1e-9)) "error rate" 0.20 s.Obs.Slo.error_rate;
+      Alcotest.(check (float 1e-9)) "error burn" 2.0 s.Obs.Slo.error_burn;
+      Alcotest.(check bool) "latency is fine" true
+        (s.Obs.Slo.latency_burn < 1.0);
+      Alcotest.(check bool) "breached on errors alone" true s.Obs.Slo.breached;
+      Obs.Slo.reset t;
+      let s = Obs.Slo.snapshot t ~now_ms:99.0 in
+      Alcotest.(check int) "reset clears samples" 0 s.Obs.Slo.samples;
+      Alcotest.(check bool) "reset clears breach" false s.Obs.Slo.breached)
+
+let test_slo_window_slide () =
+  with_obs (fun () ->
+      let t = Obs.Slo.create ~config:slo_config () in
+      (* one sample per window across the whole ring *)
+      for w = 0 to 3 do
+        Obs.Slo.record t ~now_ms:(float_of_int w *. 1_000.0) 10.0
+      done;
+      let s = Obs.Slo.snapshot t ~now_ms:3_000.0 in
+      Alcotest.(check int) "whole ring live" 4 s.Obs.Slo.samples;
+      Alcotest.(check int) "covered windows" 4 s.Obs.Slo.covered_windows;
+      (* two windows later, the two oldest have slid out *)
+      let s = Obs.Slo.snapshot t ~now_ms:5_000.0 in
+      Alcotest.(check int) "oldest slid out" 2 s.Obs.Slo.samples)
+
+(* --- slow-query log ------------------------------------------------------ *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "silkroute_slowlog" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_slowlog_writes_jsonl () =
+  with_temp_file (fun path ->
+      let log = Slowlog.create ~path () in
+      for i = 0 to 9 do
+        Alcotest.(check bool) "accepted" true
+          (Slowlog.write log
+             (Obs.Json.Obj
+                [ ("seq", Obs.Json.Int i); ("ms", Obs.Json.Float 12.5) ]))
+      done;
+      Slowlog.close log;
+      Alcotest.(check int) "written" 10 (Slowlog.written log);
+      Alcotest.(check int) "nothing dropped" 0 (Slowlog.dropped log);
+      let lines = read_lines path in
+      Alcotest.(check int) "one line per record" 10 (List.length lines);
+      (* close drained in order, and every line is valid JSON *)
+      List.iteri
+        (fun i line ->
+          match Obs.Json.member "seq" (Obs.Json.parse line) with
+          | Some (Obs.Json.Int seq) -> Alcotest.(check int) "in order" i seq
+          | _ -> Alcotest.failf "bad record: %s" line)
+        lines)
+
+let test_slowlog_drops_when_closed () =
+  with_temp_file (fun path ->
+      let log = Slowlog.create ~capacity:1 ~path () in
+      Slowlog.close log;
+      Slowlog.close log;
+      (* idempotent *)
+      Alcotest.(check bool) "write after close refused" false
+        (Slowlog.write log (Obs.Json.Obj []));
+      Alcotest.(check int) "drop counted" 1 (Slowlog.dropped log);
+      Alcotest.(check int) "nothing written" 0 (Slowlog.written log);
+      Alcotest.(check (list string)) "file empty" [] (read_lines path);
+      Alcotest.(check string) "path accessor" path (Slowlog.path log))
+
+(* --- trace propagation through the pool ---------------------------------- *)
+
+let test_trace_id_through_pool () =
+  with_obs (fun () ->
+      let config = { Service.default_config with Service.domains = 2 } in
+      let t = Service.create ~config (Lazy.force db) in
+      Fun.protect
+        ~finally:(fun () -> Service.shutdown t)
+        (fun () ->
+          match
+            Service.query t ~view:Silkroute.Queries.query1_text
+              ~strategy:"partitioned" ~reduce:false
+          with
+          | Protocol.Result _ ->
+              let spans = Obs.Span.spans () in
+              Alcotest.(check bool) "spans recorded" true (spans <> []);
+              let ids =
+                List.filter_map
+                  (fun s -> Obs.Span.find_attr s "trace_id")
+                  spans
+              in
+              (* every span — including those recorded on pool worker
+                 domains — carries the request's trace id *)
+              Alcotest.(check int) "every span tagged"
+                (List.length spans) (List.length ids);
+              Alcotest.(check int) "exactly one trace id" 1
+                (List.length (List.sort_uniq compare ids));
+              Alcotest.(check bool) "sub-queries crossed the pool" true
+                (List.exists
+                   (fun (s : Obs.Span.t) -> s.Obs.Span.name = "execute.stream")
+                   spans)
+          | r -> Alcotest.failf "expected a result, got %s"
+                   (Protocol.reply_name r)))
+
+(* --- multi-domain registry stress ---------------------------------------- *)
+
+let test_metrics_multi_domain_stress () =
+  with_obs (fun () ->
+      let domains = 4 and per_domain = 2_000 in
+      let hist_ok = ref true in
+      let stop = Atomic.make false in
+      (* a reader hammering snapshots while writers race: a torn
+         histogram would show n <> sum of bucket counts *)
+      let reader =
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop) do
+              List.iter
+                (fun (_, s) ->
+                  match s with
+                  | Obs.Metrics.SHistogram h ->
+                      let total =
+                        Array.fold_left ( + ) 0 h.Obs.Metrics.counts
+                      in
+                      if total <> h.Obs.Metrics.n then hist_ok := false
+                  | _ -> ())
+                (Obs.Metrics.snapshot ())
+            done)
+          ()
+      in
+      let worker d =
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Obs.Metrics.incr "stress.counter";
+              Obs.Metrics.observe "stress.lat"
+                (float_of_int (((d * per_domain) + i) mod 97));
+              if i mod 100 = 0 then Obs.Metrics.set_gauge "stress.gauge" (float_of_int i)
+            done)
+      in
+      let ds = List.init domains worker in
+      List.iter Domain.join ds;
+      Atomic.set stop true;
+      Thread.join reader;
+      Alcotest.(check bool) "no torn histogram read" true !hist_ok;
+      Alcotest.(check (option int)) "counter exact"
+        (Some (domains * per_domain))
+        (Obs.Metrics.counter_value "stress.counter");
+      match Obs.Metrics.histogram_snapshot "stress.lat" with
+      | None -> Alcotest.fail "histogram missing"
+      | Some h ->
+          Alcotest.(check int) "every observation landed"
+            (domains * per_domain) h.Obs.Metrics.n;
+          Alcotest.(check int) "buckets account for all"
+            h.Obs.Metrics.n
+            (Array.fold_left ( + ) 0 h.Obs.Metrics.counts))
+
+(* --- workload measured latency ------------------------------------------- *)
+
+let test_workload_measured_latency () =
+  let views = Workload.standard_views (Lazy.force db) in
+  let mix =
+    {
+      Workload.default_config with
+      Workload.clients = 2;
+      requests_per_client = 5;
+      invalidate_every = 0;
+    }
+  in
+  let t = Service.create (Lazy.force db) in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown t)
+    (fun () ->
+      let tally = Workload.run_direct t ~views mix in
+      Alcotest.(check int) "one sample per query" tally.Workload.queries
+        tally.Workload.lat_samples;
+      Alcotest.(check bool) "percentiles ordered" true
+        (tally.Workload.lat_p50_ms <= tally.Workload.lat_p90_ms
+        && tally.Workload.lat_p90_ms <= tally.Workload.lat_p99_ms);
+      Alcotest.(check bool) "positive latency" true
+        (tally.Workload.lat_p50_ms > 0.0))
+
+let suite =
+  [
+    Alcotest.test_case "expose: render/parse roundtrip" `Quick
+      test_expose_roundtrip;
+    Alcotest.test_case "expose: sanitize + parse errors" `Quick
+      test_expose_sanitize_and_errors;
+    Alcotest.test_case "expose: registry snapshot" `Quick test_expose_of_metrics;
+    Alcotest.test_case "slo: burn + recover edges" `Quick
+      test_slo_burn_and_recover;
+    Alcotest.test_case "slo: error budget" `Quick test_slo_error_budget;
+    Alcotest.test_case "slo: window slide" `Quick test_slo_window_slide;
+    Alcotest.test_case "slowlog: ordered JSONL" `Quick test_slowlog_writes_jsonl;
+    Alcotest.test_case "slowlog: drops after close" `Quick
+      test_slowlog_drops_when_closed;
+    Alcotest.test_case "trace id crosses the pool" `Quick
+      test_trace_id_through_pool;
+    Alcotest.test_case "metrics: multi-domain stress" `Quick
+      test_metrics_multi_domain_stress;
+    Alcotest.test_case "workload: measured percentiles" `Quick
+      test_workload_measured_latency;
+  ]

@@ -1,0 +1,154 @@
+(* Validator behind tools/telemetry_smoke.sh: given two exposition
+   scrapes from a live server (before and after a workload pass) and
+   the slow-query log it wrote, hold the telemetry to its contract.
+
+   Usage: check_telemetry SCRAPE1 SCRAPE2 SLOWLOG THRESHOLD_MS
+
+   Scrapes: both must parse with Obs.Expose.parse (producer and
+   consumer share the codec, so a drift here is a real wire bug); the
+   required series must be present; every *_total counter present in
+   the first scrape must be monotone into the second; uptime must
+   advance; hit ratios must stay in [0,1]; latency quantiles must be
+   ordered.  Slow log: every line is one JSON object of type
+   "slow_query" with a trace id, a latency at or above the threshold,
+   and a stage breakdown. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check-telemetry FAIL: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (if line = "" then acc else line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let get parsed key =
+  match Obs.Expose.find parsed key with
+  | Some v -> v
+  | None -> fail "exposition is missing %s" key
+
+let () =
+  let scrape1, scrape2, slowlog, threshold_ms =
+    match Sys.argv with
+    | [| _; a; b; c; d |] -> (a, b, c, float_of_string d)
+    | _ -> fail "usage: check_telemetry SCRAPE1 SCRAPE2 SLOWLOG THRESHOLD_MS"
+  in
+  let p1 =
+    try Obs.Expose.parse (read_file scrape1)
+    with Obs.Expose.Parse_error m -> fail "scrape 1 does not parse: %s" m
+  in
+  let p2 =
+    try Obs.Expose.parse (read_file scrape2)
+    with Obs.Expose.Parse_error m -> fail "scrape 2 does not parse: %s" m
+  in
+
+  (* the dashboard's load-bearing series must all be present *)
+  List.iter
+    (fun key -> ignore (get p2 key))
+    [
+      "silkroute_uptime_seconds";
+      "silkroute_server_requests_total";
+      "silkroute_server_queries_total";
+      "silkroute_server_slow_queries_total";
+      "silkroute_cache_hit_ratio{tier=\"statement\"}";
+      "silkroute_cache_hit_ratio{tier=\"plan\"}";
+      "silkroute_cache_hit_ratio{tier=\"result\"}";
+      "silkroute_pool_domains";
+      "silkroute_slo_samples";
+      "silkroute_slo_p99_ms";
+      "silkroute_slowlog_written_total";
+      "silkroute_slowlog_dropped_total";
+    ];
+
+  if get p2 "silkroute_server_queries_total" <= 0.0 then
+    fail "no queries counted after the workload pass";
+  if get p2 "silkroute_uptime_seconds" <= get p1 "silkroute_uptime_seconds" then
+    fail "uptime did not advance between scrapes";
+
+  (* every counter the first scrape exposed must still exist and must
+     not have gone backwards — the registry never loses increments *)
+  let suffix_total k =
+    let n = String.length k in
+    let rec base i = if i < n && k.[i] <> '{' then base (i + 1) else i in
+    let b = base 0 in
+    b >= 6 && String.sub k (b - 6) 6 = "_total"
+  in
+  let monotone = ref 0 in
+  List.iter
+    (fun (key, v1) ->
+      if suffix_total key then begin
+        let v2 = get p2 key in
+        if v2 < v1 then fail "counter %s went backwards: %g -> %g" key v1 v2;
+        incr monotone
+      end)
+    p1.Obs.Expose.values;
+  if !monotone = 0 then fail "scrape 1 exposed no counters at all";
+
+  List.iter
+    (fun tier ->
+      let r = get p2 (Printf.sprintf "silkroute_cache_hit_ratio{tier=%S}" tier) in
+      if r < 0.0 || r > 1.0 then fail "%s hit ratio %g out of [0,1]" tier r)
+    [ "statement"; "plan"; "result" ];
+
+  (* the request-latency summary: quantiles ordered, count consistent *)
+  let q s = get p2 (Printf.sprintf "silkroute_server_request_ms{quantile=%S}" s) in
+  if get p2 "silkroute_server_request_ms_count" <= 0.0 then
+    fail "no request latencies were observed";
+  if not (q "0.5" <= q "0.9" && q "0.9" <= q "0.99") then
+    fail "latency quantiles out of order: p50 %g p90 %g p99 %g" (q "0.5")
+      (q "0.9") (q "0.99");
+
+  (* the slow log: valid JSONL, every record above the threshold and
+     tied to a trace *)
+  let records = read_lines slowlog in
+  if records = [] then fail "slow log is empty (threshold %gms)" threshold_ms;
+  List.iteri
+    (fun i line ->
+      let j =
+        try Obs.Json.parse line
+        with Obs.Json.Parse_error m -> fail "slow log line %d: %s" (i + 1) m
+      in
+      let str key =
+        match Obs.Json.member key j with
+        | Some (Obs.Json.String s) -> s
+        | _ -> fail "slow log line %d: missing string %s" (i + 1) key
+      in
+      let num key =
+        match Obs.Json.member key j with
+        | Some (Obs.Json.Float f) -> f
+        | Some (Obs.Json.Int n) -> float_of_int n
+        | _ -> fail "slow log line %d: missing number %s" (i + 1) key
+      in
+      if str "type" <> "slow_query" then
+        fail "slow log line %d: unexpected type %S" (i + 1) (str "type");
+      if str "trace_id" = "" then fail "slow log line %d: empty trace id" (i + 1);
+      if num "ms" < threshold_ms then
+        fail "slow log line %d: %gms is under the %gms threshold" (i + 1)
+          (num "ms") threshold_ms;
+      match Obs.Json.member "stages" j with
+      | Some (Obs.Json.List _) -> ()
+      | _ -> fail "slow log line %d: missing stage breakdown" (i + 1))
+    records;
+
+  let written = get p2 "silkroute_slowlog_written_total" in
+  if float_of_int (List.length records) > written then
+    fail "slow log holds %d records but the server only counted %g"
+      (List.length records) written;
+
+  Printf.printf
+    "check-telemetry OK: %d monotone counters, %.0f queries, %d slow records, \
+     p50/p90/p99 %.2f/%.2f/%.2f ms\n"
+    !monotone
+    (get p2 "silkroute_server_queries_total")
+    (List.length records) (q "0.5") (q "0.9") (q "0.99")

@@ -34,6 +34,11 @@ dune exec tools/fault_smoke.exe
 echo "== serve smoke (query server: wire-level byte-identity + warm-cache hits)"
 sh tools/serve_smoke.sh _build/default/bin/silkroute_cli.exe
 
+echo "== telemetry smoke (wire metrics/health, monitor, slow-query log, SLO)"
+dune build tools/check_telemetry.exe
+sh tools/telemetry_smoke.sh _build/default/bin/silkroute_cli.exe \
+    _build/default/tools/check_telemetry.exe
+
 echo "== explain smoke (logical + physical trees on q1/q2)"
 sh tools/explain_smoke.sh
 
